@@ -1,0 +1,284 @@
+// Benchmarks regenerating the paper's quantitative artifacts, one bench per
+// table/figure row (see EXPERIMENTS.md). Each iteration performs one full
+// protocol execution on the deterministic simulator and reports the paper's
+// metrics (§3) as custom units:
+//
+//	wire-B/op    communicated bytes among honest parties
+//	msgs/op      honest messages
+//	rounds/op    asynchronous rounds (causal depth)
+//
+// go test -bench=. -benchmem   (n is fixed per bench; cmd/benchtable sweeps n)
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+const benchN = 7 // representative size; cmd/benchtable sweeps 4..13
+
+func report(b *testing.B, st exp.Stats) {
+	b.Helper()
+	b.ReportMetric(float64(st.Bytes), "wire-B/op")
+	b.ReportMetric(float64(st.Msgs), "msgs/op")
+	b.ReportMetric(float64(st.Rounds), "rounds/op")
+}
+
+// BenchmarkTable1CoinPaper — Table 1 row "This paper", ABA/Coin column
+// (PKI-only setup, full Seeding).
+func BenchmarkTable1CoinPaper(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		out, err := exp.RunCoin(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out.Stats
+	}
+	report(b, last)
+}
+
+// BenchmarkTable1CoinGenesis — Table 1 row "This paper", the adaptively
+// secure "PKI, 1-time rnd" variant (no Seeding).
+func BenchmarkTable1CoinGenesis(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		out, err := exp.RunCoin(exp.RunSpec{N: benchN, F: -1, Seed: int64(i), Genesis: []byte("bench")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out.Stats
+	}
+	report(b, last)
+}
+
+// BenchmarkTable1CoinCKLS02 — Table 1 row "CKLS02" (O(λn⁴) shape).
+func BenchmarkTable1CoinCKLS02(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		st, err := exp.RunBaselineCoin(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)}, exp.BaselineCKLS02)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = st
+	}
+	report(b, last)
+}
+
+// BenchmarkTable1CoinAJM21 — Table 1 row "AJM+21" (O(λn³ log n) shape).
+func BenchmarkTable1CoinAJM21(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		st, err := exp.RunBaselineCoin(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)}, exp.BaselineAJM21)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = st
+	}
+	report(b, last)
+}
+
+// BenchmarkTable1CoinKMS20 — Table 1 row "KMS20": O(n)-round bootstrap,
+// then cheap per-coin evaluations; both phases are reported.
+func BenchmarkTable1CoinKMS20(b *testing.B) {
+	var last exp.KMS20Outcome
+	for i := 0; i < b.N; i++ {
+		out, err := exp.RunKMS20(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out
+	}
+	b.ReportMetric(float64(last.Bootstrap.Bytes), "boot-wire-B/op")
+	b.ReportMetric(float64(last.Bootstrap.Rounds), "boot-rounds/op")
+	b.ReportMetric(float64(last.PerCoin.Bytes), "coin-wire-B/op")
+}
+
+// BenchmarkTable1CoinThreshold — the private-setup CKS00 threshold coin
+// (the foil that setup-free protocols replace).
+func BenchmarkTable1CoinThreshold(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		st, err := exp.RunBaselineCoin(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)}, exp.BaselineThresh)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = st
+	}
+	report(b, last)
+}
+
+// BenchmarkTable1ABA — Theorem 4: the full ABA under the paper's coin.
+func BenchmarkTable1ABA(b *testing.B) {
+	inputs := make([]byte, benchN)
+	for i := range inputs {
+		inputs[i] = byte(i % 2)
+	}
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		out, err := exp.RunABA(exp.RunSpec{N: benchN, F: -1, Seed: int64(i), Genesis: []byte("bench")},
+			inputs, exp.ABAPaperCoin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out.Stats
+	}
+	report(b, last)
+}
+
+// BenchmarkTable1Election — Theorem 5: leader election with agreement.
+func BenchmarkTable1Election(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		out, err := exp.RunElection(exp.RunSpec{N: benchN, F: -1, Seed: int64(i), Genesis: []byte("bench")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out.Stats
+	}
+	report(b, last)
+}
+
+// BenchmarkTable1VBA — Theorem 6: validated BA with the paper's Election.
+func BenchmarkTable1VBA(b *testing.B) {
+	props := make([][]byte, benchN)
+	for i := range props {
+		props[i] = []byte(fmt.Sprintf("ok:p%d", i))
+	}
+	valid := func(v []byte) bool { return strings.HasPrefix(string(v), "ok:") }
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		out, err := exp.RunVBA(exp.RunSpec{N: benchN, F: -1, Seed: int64(i), Genesis: []byte("bench")}, props, valid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out.Stats
+	}
+	report(b, last)
+}
+
+// BenchmarkFig2CoinPhases — Figure 2's pipeline: per-phase byte shares of
+// one coin flip.
+func BenchmarkFig2CoinPhases(b *testing.B) {
+	var last exp.CoinOutcome
+	for i := 0; i < b.N; i++ {
+		out, err := exp.RunCoin(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out
+	}
+	for _, ph := range []string{"seeding", "avss", "wcs", "recreq", "candidate"} {
+		b.ReportMetric(float64(last.PerPhase[ph].Bytes), ph+"-B/op")
+	}
+}
+
+// BenchmarkADKG — §7.3 application: asynchronous DKG end to end (E7).
+func BenchmarkADKG(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		out, err := exp.RunADKG(exp.RunSpec{N: benchN, F: -1, Seed: int64(i), Genesis: []byte("bench")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out.Stats
+	}
+	report(b, last)
+}
+
+// BenchmarkBeacon — §7.3 application: one DKG-free beacon epoch (E8).
+func BenchmarkBeacon(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		out, err := exp.RunBeacon(exp.RunSpec{N: 4, F: -1, Seed: int64(i), Genesis: []byte("bench")}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out.Stats
+	}
+	report(b, last)
+}
+
+// BenchmarkAVSS — §5.1: one sharing of a λ-bit secret (E9).
+func BenchmarkAVSS(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		st, err := exp.RunAVSS(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)}, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = st
+	}
+	report(b, last)
+}
+
+// BenchmarkWCS — §5.2: one weak core-set selection (E10).
+func BenchmarkWCS(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		st, err := exp.RunWCS(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = st
+	}
+	report(b, last)
+}
+
+// BenchmarkSeeding — Lemma 8: one reliable broadcasted seeding (E11).
+func BenchmarkSeeding(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		st, err := exp.RunSeeding(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = st
+	}
+	report(b, last)
+}
+
+// BenchmarkAblationWCS / BenchmarkAblationRBCGather — the §5.2 design
+// ablation: WCS's two multicast rounds versus the classical reliable-
+// broadcast core-set gather it replaces.
+func BenchmarkAblationWCS(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		st, err := exp.RunWCS(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = st
+	}
+	report(b, last)
+}
+
+func BenchmarkAblationRBCGather(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		st, err := exp.RunRBCGather(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = st
+	}
+	report(b, last)
+}
+
+// BenchmarkAblationAVSSPayload — AVSS cost versus secret size: the paper
+// assumes O(λ)-bit secrets (§5.1 footnote); an O(λn)-bit payload pushes the
+// Bracha tail to O(λn³), which is exactly the CKLS02 cost driver.
+func BenchmarkAblationAVSSPayloadWide(b *testing.B) {
+	var last exp.Stats
+	for i := 0; i < b.N; i++ {
+		st, err := exp.RunAVSS(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)}, 32*benchN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = st
+	}
+	report(b, last)
+}

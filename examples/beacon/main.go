@@ -1,0 +1,30 @@
+// Random beacon without DKG (§7.3): four parties continuously emit
+// unbiased, unpredictable 128-bit values by chaining leader elections —
+// no distributed key generation to bootstrap, which is what makes the
+// construction reconfiguration-friendly. Each epoch consumes an expected
+// 1/α ≤ 3 Election attempts.
+//
+//	go run ./examples/beacon
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const epochs = 3
+	res, err := repro.RunBeacon(repro.Config{N: 4, Seed: 7}, epochs)
+	if err != nil {
+		log.Fatalf("beacon: %v", err)
+	}
+	fmt.Printf("DKG-free asynchronous random beacon, %d epochs, 4 parties:\n", epochs)
+	for i, v := range res.Values {
+		fmt.Printf("  epoch %d: %x\n", i, v)
+	}
+	fmt.Printf("mean Election attempts/epoch: %.2f (expected ≤ 3 at α = 1/3)\n", res.MeanAttempts)
+	fmt.Printf("total: %d msgs, %d bytes, %d rounds\n",
+		res.Stats.Messages, res.Stats.Bytes, res.Stats.Rounds)
+}

@@ -1,0 +1,53 @@
+// Live cluster: the same protocol stack that the simulator measures, run
+// concurrently — four parties as independent goroutine-driven nodes
+// exchanging framed messages over real TCP loopback connections, electing
+// a leader with perfect agreement (Alg. 5).
+//
+//	go run ./examples/live-cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core/coin"
+	"repro/internal/core/election"
+	"repro/internal/livenet"
+	"repro/internal/pki"
+)
+
+func main() {
+	const n, f = 4, 1
+	keys, _, err := pki.Setup(n, rand.New(rand.NewSource(2026)))
+	if err != nil {
+		log.Fatalf("pki: %v", err)
+	}
+	nw, err := livenet.New(livenet.Config{N: n, F: f, Seed: 2026, Transport: livenet.TCP})
+	if err != nil {
+		log.Fatalf("livenet: %v", err)
+	}
+	defer nw.Close()
+
+	results := make(chan election.Result, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		e := election.New(nw.Node(i), "election", keys[i],
+			election.Config{Coin: coin.Config{GenesisNonce: []byte("live-demo")}},
+			func(r election.Result) { results <- r })
+		nw.Node(i).Do(e.Start)
+	}
+
+	var first *election.Result
+	for i := 0; i < n; i++ {
+		r := <-results
+		if first == nil {
+			first = &r
+		} else if r.Leader != first.Leader {
+			log.Fatalf("disagreement: %d vs %d", r.Leader, first.Leader)
+		}
+	}
+	fmt.Printf("4 TCP-connected parties elected P%d (default=%v) in %v — all agreed\n",
+		first.Leader+1, first.ByDefault, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,57 @@
+// Replicated log: the paper's motivating application class (§1.3 — BFT
+// state-machine replication over the unstable wide-area network). Seven
+// replicas, two of them crashed, sequence a log of transaction batches by
+// running one validated Byzantine agreement per slot: every replica
+// proposes its own pending batch, the VBA's external-validity predicate
+// rejects malformed batches, and all honest replicas append the same batch
+// — no trusted dealer, no DKG, only the bulletin PKI.
+//
+//	go run ./examples/replicated-log
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const slots = 3
+
+func validBatch(v []byte) bool {
+	return bytes.HasPrefix(v, []byte("batch|")) && len(v) < 256
+}
+
+func main() {
+	const n, crashed = 7, 2
+	var logOut [][]byte
+	totalBytes := int64(0)
+
+	for slot := 0; slot < slots; slot++ {
+		proposals := make([][]byte, n)
+		for i := range proposals {
+			proposals[i] = []byte(fmt.Sprintf("batch|slot=%d|replica=%d|tx=transfer(%d→%d)", slot, i, i, (i+1)%n))
+		}
+		res, err := repro.Agree(repro.Config{
+			N:            n,
+			Seed:         int64(9000 + slot),
+			Crashed:      crashed,
+			GenesisNonce: []byte("deployment-genesis"), // adaptive variant keeps the demo fast
+		}, proposals, validBatch)
+		if err != nil {
+			log.Fatalf("slot %d: %v", slot, err)
+		}
+		logOut = append(logOut, res.Value)
+		totalBytes += res.Stats.Bytes
+		fmt.Printf("slot %d committed: %-50s (%d bytes, %d rounds)\n",
+			slot, res.Value, res.Stats.Bytes, res.Stats.Rounds)
+	}
+
+	fmt.Printf("\nreplicated log after %d slots (identical at every honest replica, %d crashed tolerated):\n",
+		slots, crashed)
+	for i, entry := range logOut {
+		fmt.Printf("  [%d] %s\n", i, entry)
+	}
+	fmt.Printf("total agreement traffic: %d bytes\n", totalBytes)
+}

@@ -1,0 +1,135 @@
+package abc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core/coin"
+	"repro/internal/core/vba"
+	"repro/internal/harness"
+)
+
+func cfg(slots int) Config {
+	return Config{
+		VBA:   vba.Config{Coin: coin.Config{GenesisNonce: []byte("abc-test")}},
+		Slots: slots,
+	}
+}
+
+func validBatch(v []byte) bool { return bytes.HasPrefix(v, []byte("b|")) }
+
+type fixture struct {
+	c    *harness.Cluster
+	logs map[int][][]byte
+}
+
+func setup(t *testing.T, n, f, slots int, seed int64, opts harness.Options) *fixture {
+	t.Helper()
+	c, err := harness.NewCluster(n, f, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{c: c, logs: make(map[int][][]byte)}
+	c.EachHonest(func(i int) {
+		l := New(c.Net.Node(i), "log", c.Keys[i], validBatch, cfg(slots),
+			func(slot int) []byte { return []byte(fmt.Sprintf("b|slot=%d|from=%d", slot, i)) },
+			func(slot int, batch []byte) {
+				if slot != len(fx.logs[i]) {
+					t.Errorf("node %d delivered slot %d out of order", i, slot)
+				}
+				fx.logs[i] = append(fx.logs[i], batch)
+			})
+		l.Start()
+	})
+	return fx
+}
+
+func (fx *fixture) done(slots int) func() bool {
+	return func() bool {
+		if len(fx.logs) < fx.c.Honest() {
+			return false
+		}
+		for _, lg := range fx.logs {
+			if len(lg) < slots {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func TestLogsIdenticalAcrossParties(t *testing.T) {
+	const n, f, slots = 4, 1, 3
+	fx := setup(t, n, f, slots, 1, harness.Options{})
+	if err := fx.c.Net.Run(500_000_000, fx.done(slots)); err != nil {
+		t.Fatal(err)
+	}
+	ref := fx.logs[0]
+	for i, lg := range fx.logs {
+		for s := 0; s < slots; s++ {
+			if !bytes.Equal(lg[s], ref[s]) {
+				t.Fatalf("node %d slot %d: %q vs %q", i, s, lg[s], ref[s])
+			}
+			if !validBatch(lg[s]) {
+				t.Fatalf("slot %d committed invalid batch", s)
+			}
+		}
+	}
+}
+
+func TestLogToleratesCrashes(t *testing.T) {
+	const n, f, slots = 4, 1, 2
+	byz := harness.LastFByzantine(n, f)
+	fx := setup(t, n, f, slots, 2, harness.Options{Byzantine: byz, Crash: true})
+	if err := fx.c.Net.Run(500_000_000, fx.done(slots)); err != nil {
+		t.Fatal(err)
+	}
+	ref := fx.logs[0]
+	fx.c.EachHonest(func(i int) {
+		for s := 0; s < slots; s++ {
+			if !bytes.Equal(fx.logs[i][s], ref[s]) {
+				t.Fatalf("node %d slot %d diverged under crashes", i, s)
+			}
+		}
+	})
+}
+
+func TestEverySlotCommitsSomePartysBatch(t *testing.T) {
+	const n, f, slots = 4, 1, 2
+	fx := setup(t, n, f, slots, 3, harness.Options{})
+	if err := fx.c.Net.Run(500_000_000, fx.done(slots)); err != nil {
+		t.Fatal(err)
+	}
+	for s, batch := range fx.logs[0] {
+		want := fmt.Sprintf("b|slot=%d|", s)
+		if !bytes.HasPrefix(batch, []byte(want)) {
+			t.Fatalf("slot %d committed %q, not a slot-%d proposal", s, batch, s)
+		}
+	}
+}
+
+func TestCommittedReturnsPrefix(t *testing.T) {
+	const n, f, slots = 4, 1, 1
+	c, err := harness.NewCluster(n, f, 4, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := make([]*ABC, n)
+	delivered := 0
+	for i := 0; i < n; i++ {
+		i := i
+		logs[i] = New(c.Net.Node(i), "log", c.Keys[i], validBatch, cfg(slots),
+			func(slot int) []byte { return []byte(fmt.Sprintf("b|%d|%d", slot, i)) },
+			func(int, []byte) { delivered++ })
+		logs[i].Start()
+	}
+	if err := c.Net.Run(500_000_000, func() bool { return delivered == n*slots }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := len(logs[i].Committed()); got != slots {
+			t.Fatalf("node %d Committed() length %d, want %d", i, got, slots)
+		}
+	}
+}

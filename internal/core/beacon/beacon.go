@@ -1,0 +1,111 @@
+// Package beacon implements the paper's DKG-free asynchronous random
+// beacon (§7.3 "Application to random beacon w/o DKG"): a sequence of
+// slightly adapted Election instances in which
+//
+//  1. when the embedded ABA returns 0 (no agreed largest VRF), parties do
+//     not fall back to a default output — they move straight to the next
+//     Election attempt within the same epoch; and
+//  2. the epoch output is the low half of the agreed largest VRF
+//     evaluation rather than a party index.
+//
+// Each epoch therefore emits an unbiased, unpredictable λ/2-bit value after
+// an expected 1/α ≤ 3 Election attempts, at expected O(λn³) bits per epoch
+// — with no DKG bootstrap, which is what makes the construction friendly to
+// dynamic join/leave compared to threshold-PRF beacons (Cachin et al.) or
+// ADKG-bootstrapped ones.
+package beacon
+
+import (
+	"fmt"
+
+	"repro/internal/core/coin"
+	"repro/internal/core/election"
+	"repro/internal/crypto/vrf"
+	"repro/internal/pki"
+	"repro/internal/proto"
+)
+
+// ValueSize is the byte length of one beacon output (λ/2 bits).
+const ValueSize = 16
+
+// Value is one epoch's beacon output.
+type Value [ValueSize]byte
+
+// Epoch is a delivered beacon epoch.
+type Epoch struct {
+	Index    int
+	Value    Value
+	Attempts int // Election instances consumed (≥ 1)
+	Winner   coin.Candidate
+}
+
+// Output is invoked once per completed epoch, in order.
+type Output func(Epoch)
+
+// Config tunes the embedded Elections.
+type Config struct {
+	Coin   coin.Config
+	Epochs int // number of epochs to run; 0 means 1
+}
+
+// Beacon is one beacon participant.
+type Beacon struct {
+	rt   proto.Runtime
+	inst string
+	keys *pki.Keyring
+	cfg  Config
+	out  Output
+
+	epoch    int
+	attempt  int
+	attempts int
+	started  bool
+}
+
+// New creates a beacon participant. Call Start once.
+func New(rt proto.Runtime, inst string, keys *pki.Keyring, cfg Config, out Output) *Beacon {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	return &Beacon{rt: rt, inst: inst, keys: keys, cfg: cfg, out: out}
+}
+
+// Start begins epoch 0.
+func (b *Beacon) Start() {
+	if b.started {
+		return
+	}
+	b.started = true
+	b.runAttempt()
+}
+
+const maxAttempts = 48 // expected attempts is ≤ 3; hard stop for safety
+
+func (b *Beacon) runAttempt() {
+	if b.epoch >= b.cfg.Epochs || b.attempt >= maxAttempts {
+		return
+	}
+	b.attempts++
+	id := fmt.Sprintf("%s/%d/%d", b.inst, b.epoch, b.attempt)
+	e := election.New(b.rt, id, b.keys, election.Config{Coin: b.cfg.Coin}, func(r election.Result) {
+		b.onElection(r)
+	})
+	e.Start()
+}
+
+func (b *Beacon) onElection(r election.Result) {
+	if r.ByDefault || r.Winner == nil {
+		// Adaptation (i): skip the default fallback, try again.
+		b.attempt++
+		b.runAttempt()
+		return
+	}
+	// Adaptation (ii): output the low λ/2 bits of the winning VRF.
+	var v Value
+	copy(v[:], r.Winner.Value[vrf.OutputSize-ValueSize:])
+	ep := Epoch{Index: b.epoch, Value: v, Attempts: b.attempt + 1, Winner: *r.Winner}
+	b.epoch++
+	b.attempt = 0
+	b.out(ep)
+	b.runAttempt()
+}

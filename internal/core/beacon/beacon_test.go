@@ -1,0 +1,154 @@
+package beacon
+
+import (
+	"testing"
+
+	"repro/internal/core/coin"
+	"repro/internal/harness"
+)
+
+func cfg(epochs int) Config {
+	return Config{Coin: coin.Config{GenesisNonce: []byte("beacon-test")}, Epochs: epochs}
+}
+
+type fixture struct {
+	c      *harness.Cluster
+	insts  []*Beacon
+	epochs map[int][]Epoch
+}
+
+func setup(t *testing.T, n, f int, seed int64, epochs int, opts harness.Options) *fixture {
+	t.Helper()
+	c, err := harness.NewCluster(n, f, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{c: c, insts: make([]*Beacon, n), epochs: make(map[int][]Epoch)}
+	c.EachHonest(func(i int) {
+		fx.insts[i] = New(c.Net.Node(i), "bcn", c.Keys[i], cfg(epochs), func(e Epoch) {
+			fx.epochs[i] = append(fx.epochs[i], e)
+		})
+	})
+	return fx
+}
+
+func (fx *fixture) startAll() {
+	fx.c.EachHonest(func(i int) { fx.insts[i].Start() })
+}
+
+func TestEpochsAgreeAcrossParties(t *testing.T) {
+	const n, f, epochs = 4, 1, 2
+	fx := setup(t, n, f, 1, epochs, harness.Options{})
+	fx.startAll()
+	done := func() bool {
+		if len(fx.epochs) < n {
+			return false
+		}
+		for _, es := range fx.epochs {
+			if len(es) < epochs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := fx.c.Net.Run(400_000_000, done); err != nil {
+		t.Fatal(err)
+	}
+	ref := fx.epochs[0]
+	for i, es := range fx.epochs {
+		for e := 0; e < epochs; e++ {
+			if es[e].Value != ref[e].Value {
+				t.Fatalf("node %d epoch %d value differs", i, e)
+			}
+			if es[e].Index != e {
+				t.Fatalf("node %d epoch ordering broken", i)
+			}
+		}
+	}
+	if ref[0].Value == ref[1].Value {
+		t.Fatal("consecutive epochs produced identical values")
+	}
+}
+
+func TestValuesAreNonTrivial(t *testing.T) {
+	const n, f = 4, 1
+	fx := setup(t, n, f, 2, 1, harness.Options{})
+	fx.startAll()
+	if err := fx.c.Net.Run(400_000_000, func() bool {
+		return len(fx.epochs) == n && len(fx.epochs[0]) >= 1
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fx.epochs[0][0].Value == (Value{}) {
+		t.Fatal("zero beacon value")
+	}
+	if fx.epochs[0][0].Attempts < 1 {
+		t.Fatal("attempts not counted")
+	}
+}
+
+func TestToleratesCrashedParties(t *testing.T) {
+	const n, f = 4, 1
+	byz := harness.LastFByzantine(n, f)
+	fx := setup(t, n, f, 3, 1, harness.Options{Byzantine: byz, Crash: true})
+	fx.startAll()
+	honest := n - f
+	if err := fx.c.Net.Run(400_000_000, func() bool {
+		if len(fx.epochs) < honest {
+			return false
+		}
+		for _, es := range fx.epochs {
+			if len(es) < 1 {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var ref *Epoch
+	for i, es := range fx.epochs {
+		if ref == nil {
+			ref = &es[0]
+		} else if es[0].Value != ref.Value {
+			t.Fatalf("node %d beacon value differs under crashes", i)
+		}
+	}
+}
+
+// TestOutputBitsLookUniform: pooled bits of beacon values across epochs and
+// independent sessions are roughly balanced — the §7.3 unbiasedness claim
+// at smoke-test scale (full statistics are experiment E8).
+func TestOutputBitsLookUniform(t *testing.T) {
+	ones, total := 0, 0
+	for seed := int64(0); seed < 4; seed++ {
+		fx := setup(t, 4, 1, 500+seed*31, 2, harness.Options{})
+		fx.startAll()
+		done := func() bool {
+			if len(fx.epochs) < 4 {
+				return false
+			}
+			for _, es := range fx.epochs {
+				if len(es) < 2 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := fx.c.Net.Run(400_000_000, done); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range fx.epochs[0] {
+			for _, b := range e.Value {
+				for k := 0; k < 8; k++ {
+					ones += int(b >> k & 1)
+					total++
+				}
+			}
+		}
+	}
+	// 1024 pooled bits; a fair source stays within ±12% comfortably.
+	if ones < total*38/100 || ones > total*62/100 {
+		t.Fatalf("beacon bits biased: %d/%d ones", ones, total)
+	}
+}

@@ -1,0 +1,275 @@
+// Package election implements the paper's random leader election with
+// perfect agreement (§7.1, Alg. 5): the Coin machinery produces each
+// party's speculative largest VRF; parties reliably broadcast those
+// speculative winners, vote through one ABA on whether a "largest and
+// majority" VRF exists among n−f broadcast outputs, and either adopt the
+// unique such VRF (ABA=1) or a default leader (ABA=0).
+//
+// The result is an (n, f, 2f+1, 1/3)-Election: agreement always holds
+// (Theorem 5), the adversary predicts the leader with probability at most
+// 1−α+α/n, and the costs stay at expected O(n³) messages, O(λn³) bits and
+// O(1) rounds — making the primitive pluggable into every VBA construction
+// that previously needed a threshold-PRF leader election with private setup.
+package election
+
+import (
+	"math/big"
+	"sort"
+
+	"repro/internal/core/aba"
+	"repro/internal/core/coin"
+	"repro/internal/core/rbc"
+	"repro/internal/core/seeding"
+	"repro/internal/crypto/vrf"
+	"repro/internal/pki"
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Result is the election outcome.
+type Result struct {
+	Leader    int             // 0-based elected leader index
+	ByDefault bool            // true when ABA voted 0 and the default leader was used
+	Winner    *coin.Candidate // the agreed largest-and-majority VRF (nil when ByDefault)
+}
+
+// Config tunes the embedded Coin (and the ABA's round coins).
+type Config struct {
+	Coin coin.Config
+}
+
+// Output delivers the election result exactly once.
+type Output func(Result)
+
+type entry struct {
+	leader int
+	value  vrf.Output
+	proof  vrf.Proof
+}
+
+// Election is one leader-election instance on one node.
+type Election struct {
+	rt   proto.Runtime
+	inst string
+	keys *pki.Keyring
+	out  Output
+
+	coin *coin.Coin
+	rbcs []*rbc.RBC
+	aba  *aba.ABA
+
+	g        map[int]*entry // G: RBC slot -> validated speculative max
+	pend     map[int][]byte // RBC outputs waiting for the leader's seed
+	ballot   *byte
+	abaOut   *byte
+	done     bool
+	vrfmax   *coin.Candidate
+	haveVMax bool
+}
+
+// New registers an Election instance and its sub-protocols. Call Start.
+func New(rt proto.Runtime, inst string, keys *pki.Keyring, cfg Config, out Output) *Election {
+	e := &Election{
+		rt:   rt,
+		inst: inst,
+		keys: keys,
+		out:  out,
+		g:    make(map[int]*entry),
+		pend: make(map[int][]byte),
+	}
+	e.coin = coin.New(rt, inst+"/c", keys, cfg.Coin, e.onCoin)
+	e.coin.OnSeed(e.onSeed)
+	e.rbcs = make([]*rbc.RBC, rt.N())
+	for j := 0; j < rt.N(); j++ {
+		j := j
+		e.rbcs[j] = rbc.New(rt, inst+"/b/"+itoa(j), j, func(v []byte) { e.onRBC(j, v) })
+	}
+	coins := aba.PaperCoins(rt, inst+"/a/c", keys, cfg.Coin)
+	e.aba = aba.New(rt, inst+"/a", coins, e.onABA)
+	return e
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Start activates the instance (Alg. 5 lines 1–2).
+func (e *Election) Start() { e.coin.Start() }
+
+// onCoin is Alg. 5 lines 3–4: commit the speculative largest VRF via RBC.
+func (e *Election) onCoin(res coin.Result) {
+	if e.haveVMax {
+		return
+	}
+	e.haveVMax = true
+	e.vrfmax = res.Max
+	var w wire.Writer
+	if res.Max == nil {
+		w.Bool(false)
+	} else {
+		w.Bool(true)
+		w.Int(res.Max.Leader)
+		w.Bytes32(res.Max.Value[:])
+		w.Raw(res.Max.Proof.Bytes())
+	}
+	e.rbcs[e.rt.Self()].Start(w.Bytes())
+}
+
+// onRBC is Alg. 5 lines 5–12: validate broadcast VRFs into G and, at
+// |G| = n−f, vote on whether a largest-and-majority VRF exists.
+func (e *Election) onRBC(j int, v []byte) {
+	rd := wire.NewReader(v)
+	if !rd.Bool() {
+		return // ⊥ broadcast: never enters G
+	}
+	leader := rd.Int()
+	if rd.Err() != nil || leader < 0 || leader >= e.rt.N() {
+		return
+	}
+	if _, ok := e.coin.Seed(leader); !ok {
+		// Alg. 5 line 6: VRF verification implicitly waits for the seed.
+		e.pend[j] = v
+		return
+	}
+	e.accept(j, v)
+}
+
+// onSeed revisits RBC outputs that were waiting for a leader seed.
+func (e *Election) onSeed(leader int, _ [seeding.SeedSize]byte) {
+	js := make([]int, 0, len(e.pend))
+	for j := range e.pend {
+		js = append(js, j)
+	}
+	sort.Ints(js)
+	for _, j := range js {
+		v := e.pend[j]
+		rd := wire.NewReader(v)
+		_ = rd.Bool()
+		if rd.Int() != leader {
+			continue
+		}
+		delete(e.pend, j)
+		e.accept(j, v)
+	}
+}
+
+func (e *Election) accept(j int, v []byte) {
+	if _, dup := e.g[j]; dup {
+		return
+	}
+	rd := wire.NewReader(v)
+	_ = rd.Bool()
+	leader := rd.Int()
+	rb := rd.Bytes32()
+	pb := rd.Raw(vrf.ProofSize)
+	if rd.Done() != nil {
+		return
+	}
+	var out vrf.Output
+	copy(out[:], rb)
+	pf, err := vrf.ProofFromBytes(pb)
+	if err != nil {
+		return
+	}
+	sd, ok := e.coin.Seed(leader)
+	if !ok {
+		return
+	}
+	if !vrf.Verify(e.keys.Board.Parties[leader].VRF, e.coin.VRFInput(sd), out, pf) {
+		return
+	}
+	e.g[j] = &entry{leader: leader, value: out, proof: pf}
+	e.maybeVote()
+	e.maybeFinish()
+}
+
+// maybeVote is Alg. 5 lines 8–12: at exactly n−f entries, derive the ballot.
+func (e *Election) maybeVote() {
+	if e.ballot != nil || len(e.g) < e.rt.N()-e.rt.F() {
+		return
+	}
+	b := byte(0)
+	if e.winnerIn(e.g) != nil {
+		b = 1
+	}
+	e.ballot = &b
+	e.aba.Start(b)
+}
+
+// winnerIn reports the unique largest-and-majority candidate realizable in
+// some (n−f)-sized subset of g, or nil: a value v qualifies when enough
+// copies exist to form a strict majority of n−f entries and all remaining
+// slots can be filled with strictly smaller values.
+func (e *Election) winnerIn(g map[int]*entry) *entry {
+	q := e.rt.N() - e.rt.F()
+	// Group by VRF value.
+	type grp struct {
+		ent     *entry
+		count   int
+		smaller int
+	}
+	groups := make(map[vrf.Output]*grp)
+	for _, ent := range g {
+		gr := groups[ent.value]
+		if gr == nil {
+			gr = &grp{ent: ent}
+			groups[ent.value] = gr
+		}
+		gr.count++
+	}
+	for v, gr := range groups {
+		for w, other := range groups {
+			if w.Less(v) {
+				gr.smaller += other.count
+			}
+		}
+	}
+	for _, gr := range groups {
+		m := gr.count
+		if m > q {
+			m = q
+		}
+		if 2*m > q && gr.count+gr.smaller >= q {
+			return gr.ent
+		}
+	}
+	return nil
+}
+
+// onABA is Alg. 5 lines 13–17.
+func (e *Election) onABA(b byte) {
+	e.abaOut = &b
+	e.maybeFinish()
+}
+
+func (e *Election) maybeFinish() {
+	if e.done || e.abaOut == nil {
+		return
+	}
+	if *e.abaOut == 0 {
+		e.done = true
+		e.out(Result{Leader: 0, ByDefault: true})
+		return
+	}
+	win := e.winnerIn(e.g)
+	if win == nil {
+		return // keep waiting for G to grow (Alg. 5 line 15)
+	}
+	e.done = true
+	idx := new(big.Int).SetBytes(win.value[:])
+	idx.Mod(idx, big.NewInt(int64(e.rt.N())))
+	e.out(Result{
+		Leader: int(idx.Int64()),
+		Winner: &coin.Candidate{Leader: win.leader, Value: win.value, Proof: win.proof},
+	})
+}

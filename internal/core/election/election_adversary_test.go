@@ -1,0 +1,128 @@
+package election
+
+import (
+	"testing"
+
+	"repro/internal/crypto/vrf"
+	"repro/internal/harness"
+	"repro/internal/wire"
+)
+
+// TestByzGarbageBroadcastTolerated: a Byzantine party reliably broadcasts
+// garbage as its speculative max; honest parties complete the broadcast
+// (totality) but never admit it into G, and the election still terminates
+// with agreement on the honest entries.
+func TestByzGarbageBroadcastTolerated(t *testing.T) {
+	const n, f = 4, 1
+	byz := map[int]bool{3: true}
+	fx := setup(t, n, f, 91, genesisCfg(), harness.Options{Byzantine: byz})
+	fx.c.EachHonest(func(i int) { fx.insts[i].Start() })
+	// Byz broadcasts a syntactically valid candidate with a bogus proof on
+	// its own RBC slot (injecting the Bracha Propose; honest parties run
+	// the echo/ready phases to completion).
+	var payload wire.Writer
+	payload.Bool(true)
+	payload.Int(2)
+	bad := make([]byte, vrf.OutputSize)
+	bad[0] = 0xEE
+	payload.Bytes32(bad)
+	payload.Raw(make([]byte, vrf.ProofSize))
+	var prop wire.Writer
+	prop.Byte(1) // rbc msgPropose
+	prop.Blob(payload.Bytes())
+	for to := 0; to < 3; to++ {
+		fx.c.Net.Inject(3, to, "e/b/3", prop.Bytes())
+	}
+	if err := fx.c.Net.Run(100_000_000, func() bool { return len(fx.res) == 3 }); err != nil {
+		t.Fatal(err)
+	}
+	r := fx.checkAgreement(t)
+	if !r.ByDefault && r.Winner != nil && r.Winner.Value == vrf.Output(bad) {
+		t.Fatal("garbage VRF elected")
+	}
+}
+
+// TestWinnerInSubsetRule exercises the Alg. 5 line 15 subset condition
+// directly on synthetic G sets (the majority-and-largest realizability
+// check of Lemma 13).
+func TestWinnerInSubsetRule(t *testing.T) {
+	const n, f = 4, 1 // q = n−f = 3, majority needs 2 copies
+	c, err := harness.NewCluster(n, f, 92, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(c.Net.Node(0), "wtest", c.Keys[0], genesisCfg(), func(Result) {})
+
+	mk := func(b byte) vrf.Output {
+		var o vrf.Output
+		o[0] = b
+		return o
+	}
+	cases := []struct {
+		name   string
+		values []byte // one entry per G slot; value = first byte
+		want   *byte  // expected winner first byte, nil = no winner
+	}{
+		{"majority and largest", []byte{9, 9, 1}, ptr(9)},
+		{"majority but not largest", []byte{5, 5, 9}, nil},
+		{"no majority", []byte{1, 2, 3}, nil},
+		{"exact subset works with extra small", []byte{9, 9, 1, 2}, ptr(9)},
+		{"two copies of largest beat pairs of smaller", []byte{5, 5, 9, 9}, ptr(9)},
+		{"largest lacks majority copies", []byte{5, 5, 5, 9}, ptr(5)},
+		{"unanimous", []byte{7, 7, 7}, ptr(7)},
+		{"majority copies exceed q", []byte{4, 4, 4, 4}, ptr(4)},
+	}
+	for _, tc := range cases {
+		g := make(map[int]*entry, len(tc.values))
+		for slot, v := range tc.values {
+			g[slot] = &entry{leader: slot, value: mk(v)}
+		}
+		got := e.winnerIn(g)
+		switch {
+		case tc.want == nil && got != nil:
+			t.Errorf("%s: unexpected winner %v", tc.name, got.value[0])
+		case tc.want != nil && got == nil:
+			t.Errorf("%s: no winner, want %d", tc.name, *tc.want)
+		case tc.want != nil && got != nil && got.value[0] != *tc.want:
+			t.Errorf("%s: winner %d, want %d", tc.name, got.value[0], *tc.want)
+		}
+	}
+}
+
+func ptr(b byte) *byte { return &b }
+
+// TestWinnerUniqueness (Lemma 13 shape): for every synthetic G, at most one
+// distinct value can satisfy the majority-and-largest subset rule.
+func TestWinnerUniqueness(t *testing.T) {
+	const n, f = 4, 1
+	c, err := harness.NewCluster(n, f, 93, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(c.Net.Node(0), "wuniq", c.Keys[0], genesisCfg(), func(Result) {})
+	// Enumerate all G assignments of 4 slots over 3 distinct values.
+	vals := []byte{1, 5, 9}
+	for mask := 0; mask < 81; mask++ {
+		m := mask
+		g := make(map[int]*entry, 4)
+		for slot := 0; slot < 4; slot++ {
+			var o vrf.Output
+			o[0] = vals[m%3]
+			m /= 3
+			g[slot] = &entry{leader: slot, value: o}
+		}
+		winners := map[byte]bool{}
+		// The rule must be stable under any sub-iteration order; just check
+		// the returned winner (if any) is one of the qualifying values and
+		// that re-evaluation is deterministic.
+		if w := e.winnerIn(g); w != nil {
+			winners[w.value[0]] = true
+			if w2 := e.winnerIn(g); w2 == nil || w2.value[0] != w.value[0] {
+				t.Fatalf("mask %d: winnerIn not deterministic", mask)
+			}
+		}
+		if len(winners) > 1 {
+			t.Fatalf("mask %d: multiple winners %v", mask, winners)
+		}
+	}
+}

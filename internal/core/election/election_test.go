@@ -1,0 +1,158 @@
+package election
+
+import (
+	"testing"
+
+	"repro/internal/core/coin"
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+type fixture struct {
+	c     *harness.Cluster
+	insts []*Election
+	res   map[int]Result
+}
+
+func setup(t *testing.T, n, f int, seed int64, cfg Config, opts harness.Options) *fixture {
+	t.Helper()
+	c, err := harness.NewCluster(n, f, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{c: c, insts: make([]*Election, n), res: make(map[int]Result)}
+	c.EachHonest(func(i int) {
+		fx.insts[i] = New(c.Net.Node(i), "e", c.Keys[i], cfg, func(r Result) { fx.res[i] = r })
+	})
+	return fx
+}
+
+func (fx *fixture) startAll() {
+	fx.c.EachHonest(func(i int) { fx.insts[i].Start() })
+}
+
+func (fx *fixture) checkAgreement(t *testing.T) Result {
+	t.Helper()
+	var first *Result
+	for i, r := range fx.res {
+		if first == nil {
+			v := r
+			first = &v
+		} else if first.Leader != r.Leader || first.ByDefault != r.ByDefault {
+			t.Fatalf("node %d elected %d (default=%v), first saw %d (default=%v) — agreement violated",
+				i, r.Leader, r.ByDefault, first.Leader, first.ByDefault)
+		}
+	}
+	return *first
+}
+
+// genesis keeps unit runs fast: the coin still runs AVSS+WCS+candidates but
+// skips the 2n Seeding instances; Seeded mode is covered separately.
+func genesisCfg() Config {
+	return Config{Coin: coinCfgGenesis()}
+}
+
+func TestAgreementAndTermination(t *testing.T) {
+	const n, f = 4, 1
+	fx := setup(t, n, f, 1, genesisCfg(), harness.Options{})
+	fx.startAll()
+	if err := fx.c.Net.Run(50_000_000, func() bool { return len(fx.res) == n }); err != nil {
+		t.Fatal(err)
+	}
+	r := fx.checkAgreement(t)
+	if r.Leader < 0 || r.Leader >= n {
+		t.Fatalf("leader %d out of range", r.Leader)
+	}
+}
+
+func TestAgreementAcrossSeeds(t *testing.T) {
+	const n, f = 4, 1
+	for seed := int64(0); seed < 8; seed++ {
+		fx := setup(t, n, f, seed*17+3, genesisCfg(), harness.Options{})
+		fx.startAll()
+		if err := fx.c.Net.Run(50_000_000, func() bool { return len(fx.res) == n }); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fx.checkAgreement(t)
+	}
+}
+
+func TestWithFullSeeding(t *testing.T) {
+	const n, f = 4, 1
+	fx := setup(t, n, f, 5, Config{}, harness.Options{})
+	fx.startAll()
+	if err := fx.c.Net.Run(80_000_000, func() bool { return len(fx.res) == n }); err != nil {
+		t.Fatal(err)
+	}
+	fx.checkAgreement(t)
+}
+
+func TestToleratesCrashedParties(t *testing.T) {
+	const n, f = 4, 1
+	byz := harness.LastFByzantine(n, f)
+	fx := setup(t, n, f, 6, genesisCfg(), harness.Options{Byzantine: byz, Crash: true})
+	fx.startAll()
+	honest := n - f
+	if err := fx.c.Net.Run(80_000_000, func() bool { return len(fx.res) == honest }); err != nil {
+		t.Fatal(err)
+	}
+	fx.checkAgreement(t)
+}
+
+func TestAdversarialScheduler(t *testing.T) {
+	const n, f = 4, 1
+	fx := setup(t, n, f, 7, genesisCfg(), harness.Options{
+		Scheduler: sim.DelayScheduler{Slow: map[int]bool{1: true}, Bias: 0.8},
+	})
+	fx.startAll()
+	if err := fx.c.Net.Run(80_000_000, func() bool { return len(fx.res) == n }); err != nil {
+		t.Fatal(err)
+	}
+	fx.checkAgreement(t)
+}
+
+// TestWinnerCarriesProof: non-default results expose the winning VRF with a
+// proof that the beacon application re-verifies.
+func TestWinnerCarriesProof(t *testing.T) {
+	const n, f = 4, 1
+	fx := setup(t, n, f, 8, genesisCfg(), harness.Options{})
+	fx.startAll()
+	if err := fx.c.Net.Run(50_000_000, func() bool { return len(fx.res) == n }); err != nil {
+		t.Fatal(err)
+	}
+	r := fx.checkAgreement(t)
+	if !r.ByDefault && r.Winner == nil {
+		t.Fatal("non-default result without winner VRF")
+	}
+	if r.ByDefault && r.Winner != nil {
+		t.Fatal("default result carries winner")
+	}
+}
+
+// TestLeaderSpreadAcrossSessions: over several sessions the elected leader
+// varies (reasonable fairness smoke test; full distribution is E5).
+func TestLeaderSpreadAcrossSessions(t *testing.T) {
+	const n, f = 4, 1
+	seen := map[int]bool{}
+	nonDefault := 0
+	for seed := int64(0); seed < 8; seed++ {
+		fx := setup(t, n, f, 1000+seed*7, genesisCfg(), harness.Options{})
+		fx.startAll()
+		if err := fx.c.Net.Run(50_000_000, func() bool { return len(fx.res) == n }); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r := fx.checkAgreement(t)
+		seen[r.Leader] = true
+		if !r.ByDefault {
+			nonDefault++
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("only leaders %v elected over 8 sessions", seen)
+	}
+	if nonDefault == 0 {
+		t.Fatal("every session fell back to the default leader")
+	}
+}
+
+func coinCfgGenesis() coin.Config { return coin.Config{GenesisNonce: []byte("election-test-genesis")} }

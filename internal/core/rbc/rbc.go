@@ -1,0 +1,146 @@
+// Package rbc implements Bracha's reliable broadcast (cited as [14] and
+// summarized in §4 of the paper): a designated sender disseminates one value
+// with Agreement, Totality and Validity under n ≥ 3f+1.
+//
+// The companion file avid.go provides the erasure-coded variant with Merkle
+// proofs (Cachin–Tessaro-style) that the AJM+21 baseline uses; its
+// O(log n)-factor overhead on small payloads is one of the costs the paper's
+// WCS-based design eliminates.
+package rbc
+
+import (
+	"repro/internal/proto"
+	"repro/internal/wire"
+)
+
+// Message tags.
+const (
+	msgPropose byte = iota + 1
+	msgEcho
+	msgReady
+)
+
+// Output is the delivery callback signature: the broadcast value.
+type Output func(value []byte)
+
+// RBC is one reliable-broadcast instance on one node.
+type RBC struct {
+	rt     proto.Runtime
+	inst   string
+	sender int
+	out    Output
+
+	echoed    bool
+	readySent bool
+	delivered bool
+	echoes    map[string]map[int]bool // value digest -> senders
+	readies   map[string]map[int]bool
+	values    map[string][]byte // digest -> value (first seen encoding)
+}
+
+// New registers a reliable-broadcast instance. sender is the 0-based
+// designated broadcaster; every party (sender included) must construct the
+// instance to participate. The callback fires exactly once, on delivery.
+func New(rt proto.Runtime, inst string, sender int, out Output) *RBC {
+	r := &RBC{
+		rt:      rt,
+		inst:    inst,
+		sender:  sender,
+		out:     out,
+		echoes:  make(map[string]map[int]bool),
+		readies: make(map[string]map[int]bool),
+		values:  make(map[string][]byte),
+	}
+	rt.Register(inst, r)
+	return r
+}
+
+// Start broadcasts the value; only the designated sender calls it.
+func (r *RBC) Start(value []byte) {
+	if r.rt.Self() != r.sender {
+		return
+	}
+	var w wire.Writer
+	w.Byte(msgPropose)
+	w.Blob(value)
+	r.rt.Multicast(r.inst, w.Bytes())
+}
+
+func key(v []byte) string { return string(v) }
+
+// Handle implements proto.Handler.
+func (r *RBC) Handle(from int, body []byte) {
+	rd := wire.NewReader(body)
+	switch rd.Byte() {
+	case msgPropose:
+		v := rd.Blob()
+		if rd.Done() != nil || from != r.sender || r.echoed {
+			r.rt.Reject()
+			return
+		}
+		r.echoed = true
+		var w wire.Writer
+		w.Byte(msgEcho)
+		w.Blob(v)
+		r.rt.Multicast(r.inst, w.Bytes())
+	case msgEcho:
+		v := rd.Blob()
+		if rd.Done() != nil {
+			r.rt.Reject()
+			return
+		}
+		k := key(v)
+		set := r.echoes[k]
+		if set == nil {
+			set = make(map[int]bool)
+			r.echoes[k] = set
+			r.values[k] = v
+		}
+		if set[from] {
+			return
+		}
+		set[from] = true
+		if len(set) >= 2*r.rt.F()+1 {
+			r.sendReady(v)
+		}
+	case msgReady:
+		v := rd.Blob()
+		if rd.Done() != nil {
+			r.rt.Reject()
+			return
+		}
+		k := key(v)
+		set := r.readies[k]
+		if set == nil {
+			set = make(map[int]bool)
+			r.readies[k] = set
+			if _, ok := r.values[k]; !ok {
+				r.values[k] = v
+			}
+		}
+		if set[from] {
+			return
+		}
+		set[from] = true
+		if len(set) >= r.rt.F()+1 {
+			r.sendReady(v)
+		}
+		if len(set) >= 2*r.rt.F()+1 && !r.delivered {
+			r.delivered = true
+			r.out(v)
+		}
+	default:
+		r.rt.Reject()
+	}
+}
+
+func (r *RBC) sendReady(v []byte) {
+	if r.readySent {
+		return
+	}
+	r.readySent = true
+	var w wire.Writer
+	w.Byte(msgReady)
+	w.Blob(v)
+	r.rt.Multicast(r.inst, w.Bytes())
+}

@@ -1,0 +1,179 @@
+package seeding
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+type fixture struct {
+	c     *harness.Cluster
+	insts []*Seeding
+	seeds map[int][SeedSize]byte
+	depth map[int]int
+}
+
+func setup(t *testing.T, n, f int, seed int64, leader int, opts harness.Options) *fixture {
+	t.Helper()
+	c, err := harness.NewCluster(n, f, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{c: c, insts: make([]*Seeding, n), seeds: make(map[int][SeedSize]byte), depth: make(map[int]int)}
+	c.EachHonest(func(i int) {
+		fx.insts[i] = New(c.Net.Node(i), "seed", c.Keys[i], leader, func(s [SeedSize]byte) {
+			fx.seeds[i] = s
+			fx.depth[i] = c.Net.Node(i).Depth()
+		})
+	})
+	return fx
+}
+
+func (fx *fixture) startAll() {
+	fx.c.EachHonest(func(i int) { fx.insts[i].Start() })
+}
+
+func TestCorrectnessHonestLeader(t *testing.T) {
+	for _, n := range []int{4, 7} {
+		f := (n - 1) / 3
+		fx := setup(t, n, f, int64(n), 0, harness.Options{})
+		fx.startAll()
+		if err := fx.c.Net.Run(5_000_000, func() bool { return len(fx.seeds) == n }); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		first := fx.seeds[0]
+		for i, s := range fx.seeds {
+			if s != first {
+				t.Fatalf("n=%d: node %d seed disagrees (Committing violated)", n, i)
+			}
+		}
+		if first == ([SeedSize]byte{}) {
+			t.Fatal("zero seed")
+		}
+	}
+}
+
+func TestDistinctSessionsDistinctSeeds(t *testing.T) {
+	const n, f = 4, 1
+	c, err := harness.NewCluster(n, f, 99, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedsA := make(map[int][SeedSize]byte)
+	seedsB := make(map[int][SeedSize]byte)
+	for i := 0; i < n; i++ {
+		i := i
+		a := New(c.Net.Node(i), "sa", c.Keys[i], 0, func(s [SeedSize]byte) { seedsA[i] = s })
+		b := New(c.Net.Node(i), "sb", c.Keys[i], 1, func(s [SeedSize]byte) { seedsB[i] = s })
+		a.Start()
+		b.Start()
+	}
+	if err := c.Net.Run(5_000_000, func() bool { return len(seedsA) == n && len(seedsB) == n }); err != nil {
+		t.Fatal(err)
+	}
+	if seedsA[0] == seedsB[0] {
+		t.Fatal("two sessions produced identical seeds")
+	}
+}
+
+func TestToleratesCrashedParties(t *testing.T) {
+	const n, f = 7, 2
+	byz := harness.LastFByzantine(n, f)
+	fx := setup(t, n, f, 3, 0, harness.Options{Byzantine: byz, Crash: true})
+	fx.startAll()
+	honest := n - f
+	if err := fx.c.Net.Run(5_000_000, func() bool { return len(fx.seeds) == honest }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaliciousLeaderBlocksButNeverSplits: a silent leader yields no output
+// anywhere (the protocol simply does not terminate — allowed by Def. 4), and
+// partial progress never produces disagreeing seeds.
+func TestSilentLeaderNoOutput(t *testing.T) {
+	const n, f = 4, 1
+	byz := map[int]bool{2: true}
+	fx := setup(t, n, f, 4, 2, harness.Options{Byzantine: byz, Crash: true})
+	fx.startAll()
+	if err := fx.c.Net.RunAll(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(fx.seeds) != 0 {
+		t.Fatal("seed delivered despite silent leader")
+	}
+}
+
+func TestConstantRounds(t *testing.T) {
+	const n, f = 7, 2
+	fx := setup(t, n, f, 5, 3, harness.Options{})
+	fx.startAll()
+	if err := fx.c.Net.Run(5_000_000, func() bool { return len(fx.seeds) == n }); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range fx.depth {
+		if d > 10 {
+			t.Fatalf("node %d at depth %d, want ≤ 10 (constant rounds)", i, d)
+		}
+	}
+}
+
+func TestQuadraticCommunication(t *testing.T) {
+	bytesFor := func(n int) int64 {
+		f := (n - 1) / 3
+		fx := setup(t, n, f, 6, 0, harness.Options{})
+		fx.startAll()
+		if err := fx.c.Net.Run(10_000_000, func() bool { return len(fx.seeds) == n }); err != nil {
+			t.Fatal(err)
+		}
+		return fx.c.Net.Metrics().Honest.Bytes
+	}
+	b4, b10 := bytesFor(4), bytesFor(10)
+	ratio := float64(b10) / float64(b4)
+	// O(λn²): expect ≈ 6.25×; rule out cubic (15×).
+	if ratio > 12 {
+		t.Fatalf("seeding growth 4→10 = %.1f×, exceeds quadratic", ratio)
+	}
+}
+
+func TestAdversarialSchedulingStillTerminates(t *testing.T) {
+	const n, f = 4, 1
+	fx := setup(t, n, f, 7, 0, harness.Options{
+		Scheduler: sim.DelayScheduler{Slow: map[int]bool{0: true}, Bias: 0.8},
+	})
+	fx.startAll()
+	if err := fx.c.Net.Run(5_000_000, func() bool { return len(fx.seeds) == n }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnpredictabilityShape: the seed is determined only after the
+// committing phase; two clusters identical except for one honest party's
+// PVSS randomness produce different seeds, i.e. every contributor's entropy
+// enters the output.
+func TestEveryContributorEntropyEnters(t *testing.T) {
+	run := func(seed int64) [SeedSize]byte {
+		fx := setupBench(seed)
+		fx.startAll()
+		if err := fx.c.Net.Run(5_000_000, func() bool { return len(fx.seeds) == 4 }); err != nil {
+			panic(err)
+		}
+		return fx.seeds[0]
+	}
+	if run(100) == run(101) {
+		t.Fatal("different runs produced identical seeds")
+	}
+}
+
+func setupBench(seed int64) *fixture {
+	c, err := harness.NewCluster(4, 1, seed, harness.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fx := &fixture{c: c, insts: make([]*Seeding, 4), seeds: make(map[int][SeedSize]byte), depth: make(map[int]int)}
+	for i := 0; i < 4; i++ {
+		i := i
+		fx.insts[i] = New(c.Net.Node(i), "seed", c.Keys[i], 0, func(s [SeedSize]byte) { fx.seeds[i] = s })
+	}
+	return fx
+}

@@ -1,0 +1,221 @@
+package vba
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core/coin"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// validPrefix is the external-validity predicate used by the tests.
+func validPrefix(v []byte) bool { return bytes.HasPrefix(v, []byte("ok:")) }
+
+type fixture struct {
+	c     *harness.Cluster
+	insts []*VBA
+	outs  map[int][]byte
+}
+
+func genesisCfg() Config {
+	return Config{Coin: coin.Config{GenesisNonce: []byte("vba-test-genesis")}}
+}
+
+func setup(t *testing.T, n, f int, seed int64, cfg Config, opts harness.Options) *fixture {
+	t.Helper()
+	c, err := harness.NewCluster(n, f, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{c: c, insts: make([]*VBA, n), outs: make(map[int][]byte)}
+	c.EachHonest(func(i int) {
+		fx.insts[i] = New(c.Net.Node(i), "v", c.Keys[i], validPrefix, cfg, func(val []byte) {
+			fx.outs[i] = val
+		})
+	})
+	return fx
+}
+
+func (fx *fixture) start(inputs map[int][]byte) {
+	fx.c.EachHonest(func(i int) { fx.insts[i].Start(inputs[i]) })
+}
+
+func (fx *fixture) checkAgreementValidity(t *testing.T, want int) []byte {
+	t.Helper()
+	if len(fx.outs) != want {
+		t.Fatalf("%d of %d decided", len(fx.outs), want)
+	}
+	var first []byte
+	for i, v := range fx.outs {
+		if first == nil {
+			first = v
+		} else if !bytes.Equal(first, v) {
+			t.Fatalf("node %d decided %q vs %q — agreement violated", i, v, first)
+		}
+	}
+	if !validPrefix(first) {
+		t.Fatalf("decided value %q fails the external predicate", first)
+	}
+	return first
+}
+
+func inputsFor(n int) map[int][]byte {
+	m := make(map[int][]byte, n)
+	for i := 0; i < n; i++ {
+		m[i] = []byte(fmt.Sprintf("ok:proposal-%d", i))
+	}
+	return m
+}
+
+func TestAgreementTerminationValidity(t *testing.T) {
+	const n, f = 4, 1
+	fx := setup(t, n, f, 1, genesisCfg(), harness.Options{})
+	inputs := inputsFor(n)
+	fx.start(inputs)
+	if err := fx.c.Net.Run(100_000_000, func() bool { return len(fx.outs) == n }); err != nil {
+		t.Fatal(err)
+	}
+	dec := fx.checkAgreementValidity(t, n)
+	// The decided value must be one of the proposals.
+	found := false
+	for _, in := range inputs {
+		if bytes.Equal(in, dec) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("decided %q, not any party's proposal", dec)
+	}
+}
+
+func TestAcrossSeeds(t *testing.T) {
+	const n, f = 4, 1
+	for seed := int64(0); seed < 5; seed++ {
+		fx := setup(t, n, f, seed*101+11, genesisCfg(), harness.Options{})
+		fx.start(inputsFor(n))
+		if err := fx.c.Net.Run(100_000_000, func() bool { return len(fx.outs) == n }); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fx.checkAgreementValidity(t, n)
+	}
+}
+
+func TestToleratesCrashedParties(t *testing.T) {
+	const n, f = 4, 1
+	byz := harness.LastFByzantine(n, f)
+	fx := setup(t, n, f, 3, genesisCfg(), harness.Options{Byzantine: byz, Crash: true})
+	fx.start(inputsFor(n))
+	honest := n - f
+	if err := fx.c.Net.Run(200_000_000, func() bool { return len(fx.outs) == honest }); err != nil {
+		t.Fatal(err)
+	}
+	fx.checkAgreementValidity(t, honest)
+}
+
+func TestAdversarialScheduler(t *testing.T) {
+	const n, f = 4, 1
+	fx := setup(t, n, f, 4, genesisCfg(), harness.Options{
+		Scheduler: sim.DelayScheduler{Slow: map[int]bool{0: true}, Bias: 0.75},
+	})
+	fx.start(inputsFor(n))
+	if err := fx.c.Net.Run(200_000_000, func() bool { return len(fx.outs) == n }); err != nil {
+		t.Fatal(err)
+	}
+	fx.checkAgreementValidity(t, n)
+}
+
+func TestSevenParties(t *testing.T) {
+	const n, f = 7, 2
+	fx := setup(t, n, f, 5, genesisCfg(), harness.Options{})
+	fx.start(inputsFor(n))
+	if err := fx.c.Net.Run(400_000_000, func() bool { return len(fx.outs) == n }); err != nil {
+		t.Fatal(err)
+	}
+	fx.checkAgreementValidity(t, n)
+}
+
+// TestExternalValidityRejectsBadProposal: a Byzantine proposer whose value
+// fails Q never gets its proposal decided — honest parties refuse to ack it.
+func TestExternalValidityRejectsBadProposal(t *testing.T) {
+	const n, f = 4, 1
+	byz := map[int]bool{3: true}
+	fx := setup(t, n, f, 6, genesisCfg(), harness.Options{Byzantine: byz})
+	inputs := inputsFor(n)
+	fx.start(inputs)
+	// Party 3 proposes an invalid value through the honest code path run
+	// manually: craft its stage-1 PBSend.
+	bad := []byte("BAD:not-valid")
+	for to := 0; to < n; to++ {
+		var w wire.Writer
+		w.Byte(msgPBSend)
+		w.Int(1)
+		w.Byte(1)
+		w.Blob(bad)
+		w.Bool(false)
+		fx.c.Net.Inject(3, to, "v", w.Bytes())
+	}
+	if err := fx.c.Net.Run(200_000_000, func() bool { return len(fx.outs) == 3 }); err != nil {
+		t.Fatal(err)
+	}
+	dec := fx.checkAgreementValidity(t, 3)
+	if bytes.Equal(dec, bad) {
+		t.Fatal("invalid proposal decided")
+	}
+}
+
+func TestDecidedViewIsSmall(t *testing.T) {
+	const n, f = 4, 1
+	fx := setup(t, n, f, 7, genesisCfg(), harness.Options{})
+	fx.start(inputsFor(n))
+	if err := fx.c.Net.Run(100_000_000, func() bool { return len(fx.outs) == n }); err != nil {
+		t.Fatal(err)
+	}
+	for i, inst := range fx.insts {
+		if inst.DecidedView > 6 {
+			t.Fatalf("node %d decided in view %d, want expected O(1)", i, inst.DecidedView)
+		}
+	}
+}
+
+func TestMalformedTrafficRejected(t *testing.T) {
+	const n, f = 4, 1
+	fx := setup(t, n, f, 8, genesisCfg(), harness.Options{})
+	fx.c.Net.Inject(3, 0, "v", []byte{})
+	fx.c.Net.Inject(3, 0, "v", []byte{99})
+	fx.c.Net.Inject(3, 0, "v", []byte{msgPBSend, 0, 0, 0, 0, 9}) // view 0
+	fx.c.Net.Inject(3, 0, "v", []byte{msgDecide, 0, 0, 0, 1})    // truncated
+	fx.start(inputsFor(n))
+	if err := fx.c.Net.Run(100_000_000, func() bool { return len(fx.outs) == n }); err != nil {
+		t.Fatal(err)
+	}
+	if fx.c.Net.Metrics().Rejected < 4 {
+		t.Fatalf("rejected = %d, want ≥ 4", fx.c.Net.Metrics().Rejected)
+	}
+}
+
+// TestForgedDecideIgnored: a single Byzantine Decide with a bogus quorum
+// must not cause adoption.
+func TestForgedDecideIgnored(t *testing.T) {
+	const n, f = 4, 1
+	fx := setup(t, n, f, 9, genesisCfg(), harness.Options{})
+	var w wire.Writer
+	w.Byte(msgDecide)
+	w.Int(1)
+	w.Int(2)
+	w.Byte(3)
+	w.Blob([]byte("ok:forged"))
+	w.Int(0) // empty quorum
+	fx.c.Net.Inject(3, 0, "v", w.Bytes())
+	fx.start(inputsFor(n))
+	if err := fx.c.Net.Run(100_000_000, func() bool { return len(fx.outs) == n }); err != nil {
+		t.Fatal(err)
+	}
+	dec := fx.checkAgreementValidity(t, n)
+	if strings.Contains(string(dec), "forged") {
+		t.Fatal("forged decide adopted")
+	}
+}

@@ -1,0 +1,143 @@
+package field
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func randScalar(r *rand.Rand) Scalar { return MustRandom(r) }
+
+func TestZeroValueIsZero(t *testing.T) {
+	var s Scalar
+	if !s.IsZero() {
+		t.Fatal("zero value is not zero")
+	}
+	if !s.Equal(Zero()) {
+		t.Fatal("zero value != Zero()")
+	}
+	if got := s.Bytes(); !bytes.Equal(got, make([]byte, Size)) {
+		t.Fatalf("zero encoding = %x", got)
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	r := testRand(1)
+	for i := 0; i < 200; i++ {
+		a, b := randScalar(r), randScalar(r)
+		if got := a.Add(b).Sub(b); !got.Equal(a) {
+			t.Fatalf("(a+b)-b != a: %v", got)
+		}
+	}
+}
+
+func TestMulInvRoundTrip(t *testing.T) {
+	r := testRand(2)
+	for i := 0; i < 200; i++ {
+		a := randScalar(r)
+		if a.IsZero() {
+			continue
+		}
+		if got := a.Mul(a.Inv()); !got.Equal(One()) {
+			t.Fatalf("a·a⁻¹ != 1: %v", got)
+		}
+	}
+}
+
+func TestNegIsAdditiveInverse(t *testing.T) {
+	r := testRand(3)
+	for i := 0; i < 200; i++ {
+		a := randScalar(r)
+		if !a.Add(a.Neg()).IsZero() {
+			t.Fatal("a + (-a) != 0")
+		}
+	}
+}
+
+func TestDistributivityProperty(t *testing.T) {
+	r := testRand(4)
+	f := func(ab, bb, cb [32]byte) bool {
+		a, b, c := FromBytes(ab[:]), FromBytes(bb[:]), FromBytes(cb[:])
+		lhs := a.Mul(b.Add(c))
+		rhs := a.Mul(b).Add(a.Mul(c))
+		return lhs.Equal(rhs)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommutativityProperty(t *testing.T) {
+	f := func(ab, bb [32]byte) bool {
+		a, b := FromBytes(ab[:]), FromBytes(bb[:])
+		return a.Add(b).Equal(b.Add(a)) && a.Mul(b).Equal(b.Mul(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	f := func(ab [32]byte) bool {
+		a := FromBytes(ab[:])
+		got, err := SetCanonical(a.Bytes())
+		return err == nil && got.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetCanonicalRejectsOversized(t *testing.T) {
+	tooBig := Modulus() // exactly q is non-canonical
+	var buf [Size]byte
+	tooBig.FillBytes(buf[:])
+	if _, err := SetCanonical(buf[:]); err == nil {
+		t.Fatal("accepted encoding of q")
+	}
+	if _, err := SetCanonical(make([]byte, Size-1)); err == nil {
+		t.Fatal("accepted short encoding")
+	}
+}
+
+func TestFromIntNegative(t *testing.T) {
+	got := FromInt(-1)
+	want := Zero().Sub(One())
+	if !got.Equal(want) {
+		t.Fatalf("FromInt(-1) = %v, want %v", got, want)
+	}
+}
+
+func TestExpMatchesRepeatedMul(t *testing.T) {
+	r := testRand(5)
+	a := randScalar(r)
+	acc := One()
+	for e := uint64(0); e < 16; e++ {
+		if got := a.Exp(e); !got.Equal(acc) {
+			t.Fatalf("a^%d mismatch", e)
+		}
+		acc = acc.Mul(a)
+	}
+}
+
+func TestRandomIsReduced(t *testing.T) {
+	r := testRand(6)
+	for i := 0; i < 50; i++ {
+		s := MustRandom(r)
+		if s.Big().Cmp(Modulus()) >= 0 {
+			t.Fatal("Random produced unreduced scalar")
+		}
+	}
+}
+
+func TestFromBigReduces(t *testing.T) {
+	v := new(big.Int).Add(Modulus(), big.NewInt(5))
+	if got := FromBig(v); !got.Equal(FromUint64(5)) {
+		t.Fatalf("FromBig(q+5) = %v", got)
+	}
+}

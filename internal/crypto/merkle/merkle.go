@@ -1,0 +1,132 @@
+// Package merkle implements SHA-256 Merkle trees with inclusion proofs. It
+// is a component of the erasure-coded (AVID-style) reliable broadcast used
+// by the AJM+21 baseline — the source of that protocol family's extra
+// O(log n) communication factor that the paper eliminates.
+package merkle
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// HashSize is the byte length of a tree node.
+const HashSize = sha256.Size
+
+// Root identifies a tree.
+type Root [HashSize]byte
+
+// Proof is an inclusion proof: the sibling path from a leaf to the root.
+type Proof struct {
+	Index    int      // leaf position
+	Siblings [][]byte // bottom-up sibling hashes, each HashSize long
+}
+
+func leafHash(data []byte) [HashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{0x00}) // domain-separate leaves from inner nodes
+	h.Write(data)
+	var out [HashSize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func nodeHash(l, r [HashSize]byte) [HashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [HashSize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Tree is a full Merkle tree over a fixed leaf set.
+type Tree struct {
+	levels [][][HashSize]byte // levels[0] = leaf hashes, last level = root
+	n      int
+}
+
+// Build constructs a tree over the given leaves. Odd levels duplicate the
+// trailing node.
+func Build(leaves [][]byte) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("merkle: no leaves")
+	}
+	level := make([][HashSize]byte, len(leaves))
+	for i, l := range leaves {
+		level[i] = leafHash(l)
+	}
+	t := &Tree{n: len(leaves)}
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([][HashSize]byte, (len(level)+1)/2)
+		for i := range next {
+			l := level[2*i]
+			r := l
+			if 2*i+1 < len(level) {
+				r = level[2*i+1]
+			}
+			next[i] = nodeHash(l, r)
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// Root returns the tree root.
+func (t *Tree) Root() Root {
+	return Root(t.levels[len(t.levels)-1][0])
+}
+
+// Prove returns the inclusion proof for leaf i.
+func (t *Tree) Prove(i int) (Proof, error) {
+	if i < 0 || i >= t.n {
+		return Proof{}, fmt.Errorf("merkle: leaf %d out of range [0,%d)", i, t.n)
+	}
+	p := Proof{Index: i}
+	idx := i
+	for _, level := range t.levels[:len(t.levels)-1] {
+		sib := idx ^ 1
+		if sib >= len(level) {
+			sib = idx // duplicated trailing node
+		}
+		s := level[sib]
+		p.Siblings = append(p.Siblings, append([]byte(nil), s[:]...))
+		idx /= 2
+	}
+	return p, nil
+}
+
+// Verify checks that data is the leaf at p.Index under root.
+func Verify(root Root, data []byte, p Proof) bool {
+	if p.Index < 0 {
+		return false
+	}
+	cur := leafHash(data)
+	idx := p.Index
+	for _, sib := range p.Siblings {
+		if len(sib) != HashSize {
+			return false
+		}
+		var s [HashSize]byte
+		copy(s[:], sib)
+		if idx%2 == 0 {
+			cur = nodeHash(cur, s)
+		} else {
+			cur = nodeHash(s, cur)
+		}
+		idx /= 2
+	}
+	return Root(cur) == root
+}
+
+// ProofSize returns the encoded size in bytes of an inclusion proof for a
+// tree with n leaves — Θ(log n), the factor the paper's WCS avoids.
+func ProofSize(n int) int {
+	depth := 0
+	for v := n; v > 1; v = (v + 1) / 2 {
+		depth++
+	}
+	return 4 + depth*HashSize
+}

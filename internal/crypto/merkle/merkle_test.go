@@ -1,0 +1,117 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestProveVerifyAllLeaves(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13} {
+		ls := leaves(n)
+		tree, err := Build(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := tree.Root()
+		for i := 0; i < n; i++ {
+			p, err := tree.Prove(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Verify(root, ls[i], p) {
+				t.Fatalf("n=%d leaf=%d proof rejected", n, i)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsWrongLeaf(t *testing.T) {
+	ls := leaves(8)
+	tree, _ := Build(ls)
+	p, _ := tree.Prove(3)
+	if Verify(tree.Root(), []byte("not-the-leaf"), p) {
+		t.Fatal("wrong leaf data verified")
+	}
+	if Verify(tree.Root(), ls[4], p) {
+		t.Fatal("leaf verified under wrong index proof")
+	}
+}
+
+func TestVerifyRejectsTamperedProof(t *testing.T) {
+	ls := leaves(8)
+	tree, _ := Build(ls)
+	p, _ := tree.Prove(2)
+	p.Siblings[0][0] ^= 1
+	if Verify(tree.Root(), ls[2], p) {
+		t.Fatal("tampered sibling verified")
+	}
+	p2, _ := tree.Prove(2)
+	p2.Siblings = append(p2.Siblings, make([]byte, HashSize))
+	if Verify(tree.Root(), ls[2], p2) {
+		t.Fatal("extended proof verified")
+	}
+	p3, _ := tree.Prove(2)
+	p3.Siblings[1] = p3.Siblings[1][:HashSize-1]
+	if Verify(tree.Root(), ls[2], p3) {
+		t.Fatal("short sibling verified")
+	}
+}
+
+func TestDistinctLeafSetsDistinctRoots(t *testing.T) {
+	t1, _ := Build(leaves(4))
+	ls := leaves(4)
+	ls[2] = []byte("mutated")
+	t2, _ := Build(ls)
+	if t1.Root() == t2.Root() {
+		t.Fatal("roots collided across leaf sets")
+	}
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Fatal("accepted empty leaf set")
+	}
+}
+
+func TestProveRejectsOutOfRange(t *testing.T) {
+	tree, _ := Build(leaves(4))
+	if _, err := tree.Prove(-1); err == nil {
+		t.Fatal("accepted negative index")
+	}
+	if _, err := tree.Prove(4); err == nil {
+		t.Fatal("accepted overflow index")
+	}
+}
+
+func TestProofSizeGrowsLogarithmically(t *testing.T) {
+	if ProofSize(1) >= ProofSize(16) {
+		t.Fatal("proof size not increasing")
+	}
+	// log2(1024)=10 levels.
+	want := 4 + 10*HashSize
+	if got := ProofSize(1024); got != want {
+		t.Fatalf("ProofSize(1024) = %d, want %d", got, want)
+	}
+}
+
+func TestLeafDomainSeparation(t *testing.T) {
+	// A single-leaf tree of the concatenated children of an inner node must
+	// not reproduce that inner node (leaf vs node hashes are domain
+	// separated).
+	ls := leaves(2)
+	tree, _ := Build(ls)
+	h0 := leafHash(ls[0])
+	h1 := leafHash(ls[1])
+	fake, _ := Build([][]byte{append(h0[:], h1[:]...)})
+	if fake.Root() == tree.Root() {
+		t.Fatal("second-preimage across levels")
+	}
+}

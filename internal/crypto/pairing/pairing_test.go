@@ -1,0 +1,121 @@
+package pairing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/crypto/field"
+)
+
+func testRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestBilinearity(t *testing.T) {
+	r := testRand(1)
+	a, b := field.MustRandom(r), field.MustRandom(r)
+	g1, g2 := G1Generator(), G2Generator()
+	lhs := Pair(g1.Exp(a), g2.Exp(b))
+	rhs := Pair(g1, g2).Exp(a.Mul(b))
+	if !lhs.Equal(rhs) {
+		t.Fatal("e(g^a, h^b) != e(g,h)^{ab}")
+	}
+	// e(g^a · g^b, h) = e(g,h)^{a+b}
+	lhs2 := Pair(g1.Exp(a).Mul(g1.Exp(b)), g2)
+	rhs2 := Pair(g1, g2).Exp(a.Add(b))
+	if !lhs2.Equal(rhs2) {
+		t.Fatal("pairing not additive in first slot")
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	var one1 G1
+	var one2 G2
+	if !one1.IsIdentity() || !one2.IsIdentity() {
+		t.Fatal("zero values not identity")
+	}
+	if !Pair(one1, G2Generator()).Equal(GT{}) {
+		t.Fatal("e(1, h) != 1")
+	}
+	g := G1Generator()
+	if !g.Mul(g.Inv()).IsIdentity() {
+		t.Fatal("g · g⁻¹ != 1")
+	}
+	h := G2Generator()
+	if !h.Mul(h.Inv()).IsIdentity() {
+		t.Fatal("h · h⁻¹ != 1")
+	}
+}
+
+func TestEncodingSizesMimicBLS(t *testing.T) {
+	if len(G1Generator().Bytes()) != G1Size {
+		t.Fatalf("G1 size %d", len(G1Generator().Bytes()))
+	}
+	if len(G2Generator().Bytes()) != G2Size {
+		t.Fatalf("G2 size %d", len(G2Generator().Bytes()))
+	}
+	if len((GT{}).Bytes()) != GTSize {
+		t.Fatalf("GT size %d", len((GT{}).Bytes()))
+	}
+}
+
+func TestRoundTrips(t *testing.T) {
+	r := testRand(2)
+	a := G1Generator().Exp(field.MustRandom(r))
+	got1, err := G1FromBytes(a.Bytes())
+	if err != nil || !got1.Equal(a) {
+		t.Fatal("G1 round trip failed")
+	}
+	b := G2Generator().Exp(field.MustRandom(r))
+	got2, err := G2FromBytes(b.Bytes())
+	if err != nil || !got2.Equal(b) {
+		t.Fatal("G2 round trip failed")
+	}
+	c := Pair(a, b)
+	got3, err := GTFromBytes(c.Bytes())
+	if err != nil || !got3.Equal(c) {
+		t.Fatal("GT round trip failed")
+	}
+}
+
+func TestDecodeRejectsBadPadding(t *testing.T) {
+	enc := G1Generator().Bytes()
+	enc[0] = 1 // padding byte must be zero
+	if _, err := G1FromBytes(enc); err == nil {
+		t.Fatal("accepted corrupt padding")
+	}
+	if _, err := G1FromBytes(enc[:10]); err == nil {
+		t.Fatal("accepted short encoding")
+	}
+	if _, err := G2FromBytes(make([]byte, 10)); err == nil {
+		t.Fatal("G2 accepted short encoding")
+	}
+	if _, err := GTFromBytes(make([]byte, 10)); err == nil {
+		t.Fatal("GT accepted short encoding")
+	}
+}
+
+func TestHashToGroupsDeterministic(t *testing.T) {
+	if !HashToG1("d", []byte("x")).Equal(HashToG1("d", []byte("x"))) {
+		t.Fatal("HashToG1 nondeterministic")
+	}
+	if HashToG1("d", []byte("x")).Equal(HashToG1("d", []byte("y"))) {
+		t.Fatal("HashToG1 collided")
+	}
+	if !HashToG2("d", []byte("x")).Equal(HashToG2("d", []byte("x"))) {
+		t.Fatal("HashToG2 nondeterministic")
+	}
+}
+
+func TestRandomG1(t *testing.T) {
+	r := testRand(3)
+	a, err := RandomG1(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomG1(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Fatal("two random G1 elements collided")
+	}
+}

@@ -1,0 +1,181 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto/field"
+)
+
+func testRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestEvalHorner(t *testing.T) {
+	// p(x) = 3 + 2x + x²
+	p := New(field.FromUint64(3), field.FromUint64(2), field.FromUint64(1))
+	if got := p.Eval(field.FromUint64(2)); !got.Equal(field.FromUint64(11)) {
+		t.Fatalf("p(2) = %v, want 11", got)
+	}
+	if got := p.Secret(); !got.Equal(field.FromUint64(3)) {
+		t.Fatalf("p(0) = %v, want 3", got)
+	}
+}
+
+func TestSharesReconstructSecret(t *testing.T) {
+	r := testRand(1)
+	for deg := 0; deg <= 6; deg++ {
+		p, err := Random(r, deg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares := p.Shares(deg + 1)
+		got, err := InterpolateSecret(shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(p.Secret()) {
+			t.Fatalf("degree %d: recovered %v, want %v", deg, got, p.Secret())
+		}
+	}
+}
+
+func TestAnySubsetReconstructs(t *testing.T) {
+	r := testRand(2)
+	const deg, n = 3, 10
+	p, err := Random(r, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := p.Shares(n)
+	for trial := 0; trial < 30; trial++ {
+		perm := r.Perm(n)[:deg+1]
+		sub := make([]Share, 0, deg+1)
+		for _, i := range perm {
+			sub = append(sub, all[i])
+		}
+		got, err := InterpolateSecret(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(p.Secret()) {
+			t.Fatalf("subset %v failed", perm)
+		}
+	}
+}
+
+func TestInterpolateRejectsDuplicates(t *testing.T) {
+	shares := []Share{{Index: 1, Value: field.One()}, {Index: 1, Value: field.Zero()}}
+	if _, err := InterpolateSecret(shares); err == nil {
+		t.Fatal("accepted duplicate index")
+	}
+	if _, err := Interpolate(shares); err == nil {
+		t.Fatal("Interpolate accepted duplicate index")
+	}
+}
+
+func TestInterpolateRecoversCoefficients(t *testing.T) {
+	r := testRand(3)
+	for trial := 0; trial < 20; trial++ {
+		deg := r.Intn(6)
+		p, err := Random(r, deg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Interpolate(p.Shares(deg + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= deg; k++ {
+			if !got.Coeff(k).Equal(p.Coeff(k)) {
+				t.Fatalf("trial %d: coefficient %d mismatch", trial, k)
+			}
+		}
+	}
+}
+
+func TestRandomWithSecret(t *testing.T) {
+	r := testRand(4)
+	secret := field.FromUint64(42)
+	p, err := RandomWithSecret(r, 5, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Secret().Equal(secret) {
+		t.Fatal("secret not embedded")
+	}
+}
+
+func TestAddPointwiseProperty(t *testing.T) {
+	r := testRand(5)
+	f := func(xb [32]byte) bool {
+		p, _ := Random(r, 4)
+		q, _ := Random(r, 2)
+		x := field.FromBytes(xb[:])
+		return p.Add(q).Eval(x).Equal(p.Eval(x).Add(q.Eval(x)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSecrecyOfShamir checks the information-theoretic property underlying
+// AVSS secrecy: deg shares of a degree-deg polynomial are consistent with
+// any candidate secret.
+func TestSecrecyOfShamir(t *testing.T) {
+	r := testRand(6)
+	const deg = 4
+	p, err := Random(r, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := p.Shares(deg) // only deg shares: one short of threshold
+	// For an arbitrary fake secret, there exists a degree-deg polynomial
+	// matching the partial shares and the fake secret.
+	fake := field.FromUint64(123456789)
+	pts := append([]Share(nil), partial...)
+	pts = append(pts, Share{Index: -1, Value: fake}) // X(-1) = 0, the secret slot
+	q, err := Interpolate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Secret().Equal(fake) {
+		t.Fatal("could not extend partial shares to fake secret")
+	}
+	for _, sh := range partial {
+		if !q.Eval(X(sh.Index)).Equal(sh.Value) {
+			t.Fatal("extension does not match observed shares")
+		}
+	}
+}
+
+func TestLagrangeCoeffsSumToOneAtZero(t *testing.T) {
+	// Σ λ_i = 1 when interpolating the constant polynomial.
+	xs := []field.Scalar{X(0), X(3), X(7), X(9)}
+	coeffs, err := LagrangeCoeffs(xs, field.Zero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := field.Zero()
+	for _, c := range coeffs {
+		sum = sum.Add(c)
+	}
+	if !sum.Equal(field.One()) {
+		t.Fatalf("Σλ = %v, want 1", sum)
+	}
+}
+
+func TestInterpolateAtArbitraryPoint(t *testing.T) {
+	r := testRand(7)
+	p, err := Random(r, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := field.FromUint64(999)
+	got, err := InterpolateAt(p.Shares(6), at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p.Eval(at)) {
+		t.Fatal("InterpolateAt mismatch")
+	}
+}

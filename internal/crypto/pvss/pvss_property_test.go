@@ -1,0 +1,118 @@
+package pvss
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/crypto/field"
+	"repro/internal/crypto/pairing"
+)
+
+// TestAggregationCommutes: AggScripts(a,b) and AggScripts(b,a) commit the
+// same secret and verify identically (aggregation is a commutative monoid
+// action on transcripts).
+func TestAggregationCommutes(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	fx := setup(t, r, 7, 4)
+	s1, err := Deal(fx.p, fx.eks, 1, fx.sks[1], field.MustRandom(r), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Deal(fx.p, fx.eks, 3, fx.sks[3], field.MustRandom(r), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := AggScripts(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := AggScripts(s2, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ab.F[0].Equal(ba.F[0]) || !ab.U2.Equal(ba.U2) {
+		t.Fatal("aggregation order changed the commitment")
+	}
+	if !VrfyScript(fx.p, fx.eks, fx.vks, ab) || !VrfyScript(fx.p, fx.eks, fx.vks, ba) {
+		t.Fatal("commuted aggregate fails verification")
+	}
+}
+
+// TestAggregationAssociates: ((a·b)·c) equals (a·(b·c)) on every
+// commitment component.
+func TestAggregationAssociates(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	fx := setup(t, r, 7, 4)
+	var scripts []*Script
+	for d := 0; d < 3; d++ {
+		s, err := Deal(fx.p, fx.eks, d, fx.sks[d], field.MustRandom(r), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scripts = append(scripts, s)
+	}
+	left, err := AggScripts(scripts[0], scripts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err = AggScripts(left, scripts[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := AggScripts(scripts[1], scripts[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err = AggScripts(scripts[0], right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range left.F {
+		if !left.F[k].Equal(right.F[k]) {
+			t.Fatalf("coefficient %d differs across association orders", k)
+		}
+	}
+	for i := range left.A {
+		if !left.A[i].Equal(right.A[i]) || !left.Y[i].Equal(right.Y[i]) {
+			t.Fatalf("evaluation %d differs across association orders", i)
+		}
+	}
+}
+
+// TestAnyThresholdSubsetAgrees: every (degree+1)-subset of shares of an
+// aggregate reconstructs the same secret.
+func TestAnyThresholdSubsetAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	const n, deg = 7, 2
+	fx := setup(t, r, n, deg)
+	a, _ := Deal(fx.p, fx.eks, 0, fx.sks[0], field.MustRandom(r), r)
+	b, _ := Deal(fx.p, fx.eks, 5, fx.sks[5], field.MustRandom(r), r)
+	agg, err := AggScripts(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]pairing.G2, n)
+	for i := 0; i < n; i++ {
+		all[i] = GetShare(i, fx.dks[i], agg)
+	}
+	var ref *pairing.G2
+	for trial := 0; trial < 10; trial++ {
+		idx := r.Perm(n)[:deg+1]
+		sub := make(map[int]pairing.G2, deg+1)
+		for _, i := range idx {
+			sub[i] = all[i]
+		}
+		got, err := AggShares(fx.p, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = &got
+		} else if !got.Equal(*ref) {
+			t.Fatalf("subset %v reconstructed a different secret", idx)
+		}
+	}
+	if !VrfySecret(*ref, agg) {
+		t.Fatal("reconstructed secret fails VrfySecret")
+	}
+}

@@ -1,0 +1,120 @@
+// Package rs implements Reed–Solomon erasure coding over the scalar field
+// via polynomial evaluation and interpolation. Encoding splits a payload
+// into k data chunks, extends them to n coded chunks; any k chunks recover
+// the payload. It backs the AVID-style reliable broadcast baseline
+// (Cachin–Tessaro '05, cited as [18]) used to reproduce the AJM+21 row of
+// Table 1.
+//
+// Chunks embed field elements of 31 payload bytes each (one byte of
+// headroom below the modulus), so the rate overhead is 32/31 on top of the
+// n/k expansion — irrelevant to the asymptotic measurements.
+package rs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/crypto/field"
+	"repro/internal/crypto/poly"
+)
+
+// chunkBytes is the payload carried per field element.
+const chunkBytes = field.Size - 1
+
+// Encode splits data into k source chunks and extends to n coded chunks.
+// Chunk i is the concatenation of evaluations at point X(i) of the
+// per-column interpolation polynomials. The original length is prepended so
+// Decode can strip padding.
+func Encode(data []byte, k, n int) ([][]byte, error) {
+	if k <= 0 || n < k {
+		return nil, fmt.Errorf("rs: invalid k=%d n=%d", k, n)
+	}
+	// Prefix with length, pad to k*chunkBytes columns.
+	buf := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(buf, uint32(len(data)))
+	copy(buf[4:], data)
+	cols := (len(buf) + k*chunkBytes - 1) / (k * chunkBytes)
+	if cols == 0 {
+		cols = 1
+	}
+	padded := make([]byte, cols*k*chunkBytes)
+	copy(padded, buf)
+
+	chunks := make([][]byte, n)
+	for i := range chunks {
+		chunks[i] = make([]byte, 0, cols*field.Size)
+	}
+	// For each column, interpolate the k source symbols as evaluations at
+	// X(0..k-1) and extend to X(0..n-1).
+	shares := make([]poly.Share, k)
+	for c := 0; c < cols; c++ {
+		for j := 0; j < k; j++ {
+			off := (c*k + j) * chunkBytes
+			shares[j] = poly.Share{Index: j, Value: field.FromBytes(padded[off : off+chunkBytes])}
+		}
+		p, err := poly.Interpolate(shares)
+		if err != nil {
+			return nil, fmt.Errorf("rs: interpolating column %d: %w", c, err)
+		}
+		for i := 0; i < n; i++ {
+			chunks[i] = append(chunks[i], p.Eval(poly.X(i)).Bytes()...)
+		}
+	}
+	return chunks, nil
+}
+
+// Decode recovers the payload from at least k chunks. chunks maps chunk
+// index to content; all supplied chunks must be equal length.
+func Decode(chunks map[int][]byte, k int) ([]byte, error) {
+	if len(chunks) < k {
+		return nil, fmt.Errorf("rs: %d chunks, need %d", len(chunks), k)
+	}
+	idxs := make([]int, 0, k)
+	var clen int
+	for i, c := range chunks {
+		if len(idxs) == 0 {
+			clen = len(c)
+			if clen == 0 || clen%field.Size != 0 {
+				return nil, fmt.Errorf("rs: bad chunk length %d", clen)
+			}
+		} else if len(c) != clen {
+			return nil, fmt.Errorf("rs: inconsistent chunk lengths")
+		}
+		idxs = append(idxs, i)
+		if len(idxs) == k {
+			break
+		}
+	}
+	cols := clen / field.Size
+	out := make([]byte, 0, cols*k*chunkBytes)
+	shares := make([]poly.Share, k)
+	for c := 0; c < cols; c++ {
+		for j, idx := range idxs {
+			seg := chunks[idx][c*field.Size : (c+1)*field.Size]
+			v, err := field.SetCanonical(seg)
+			if err != nil {
+				return nil, fmt.Errorf("rs: chunk %d column %d: %w", idx, c, err)
+			}
+			shares[j] = poly.Share{Index: idx, Value: v}
+		}
+		p, err := poly.Interpolate(shares)
+		if err != nil {
+			return nil, fmt.Errorf("rs: column %d: %w", c, err)
+		}
+		for j := 0; j < k; j++ {
+			v := p.Eval(poly.X(j)).Bytes()
+			if v[0] != 0 {
+				return nil, fmt.Errorf("rs: column %d symbol %d overflows chunk", c, j)
+			}
+			out = append(out, v[1:]...)
+		}
+	}
+	if len(out) < 4 {
+		return nil, fmt.Errorf("rs: decoded payload too short")
+	}
+	n := binary.BigEndian.Uint32(out)
+	if int(n) > len(out)-4 {
+		return nil, fmt.Errorf("rs: corrupt length prefix %d", n)
+	}
+	return out[4 : 4+n], nil
+}

@@ -1,0 +1,115 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeAllChunks(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	chunks, err := Encode(data, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 7 {
+		t.Fatalf("%d chunks, want 7", len(chunks))
+	}
+	all := make(map[int][]byte)
+	for i, c := range chunks {
+		all[i] = c
+	}
+	got, err := Decode(all, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("decode mismatch: %q", got)
+	}
+}
+
+func TestDecodeFromAnyKSubset(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	data := make([]byte, 200)
+	r.Read(data)
+	const k, n = 4, 10
+	chunks, err := Encode(data, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		sel := r.Perm(n)[:k]
+		sub := make(map[int][]byte, k)
+		for _, i := range sel {
+			sub[i] = chunks[i]
+		}
+		got, err := Decode(sub, k)
+		if err != nil {
+			t.Fatalf("subset %v: %v", sel, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("subset %v: mismatch", sel)
+		}
+	}
+}
+
+func TestDecodeNeedsKChunks(t *testing.T) {
+	chunks, _ := Encode([]byte("payload"), 3, 5)
+	sub := map[int][]byte{0: chunks[0], 1: chunks[1]}
+	if _, err := Decode(sub, 3); err == nil {
+		t.Fatal("decoded from fewer than k chunks")
+	}
+}
+
+func TestDecodeRejectsInconsistentLengths(t *testing.T) {
+	chunks, _ := Encode([]byte("payload payload payload payload payload"), 2, 4)
+	sub := map[int][]byte{0: chunks[0], 1: chunks[1][:len(chunks[1])-32]}
+	if _, err := Decode(sub, 2); err == nil {
+		t.Fatal("accepted inconsistent chunk lengths")
+	}
+}
+
+func TestEncodeValidatesParams(t *testing.T) {
+	if _, err := Encode([]byte("x"), 0, 3); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	if _, err := Encode([]byte("x"), 4, 3); err == nil {
+		t.Fatal("accepted n < k")
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	chunks, err := Encode(nil, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := map[int][]byte{1: chunks[1], 3: chunks[3]}
+	got, err := Decode(sub, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d bytes from empty payload", len(got))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte, kSeed, nSeed uint8) bool {
+		k := int(kSeed)%5 + 1
+		n := k + int(nSeed)%5
+		chunks, err := Encode(data, k, n)
+		if err != nil {
+			return false
+		}
+		sub := make(map[int][]byte, k)
+		for i := n - k; i < n; i++ { // take the last k (all parity for small k)
+			sub[i] = chunks[i]
+		}
+		got, err := Decode(sub, k)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestSignVerify(t *testing.T) {
+	r := testRand(1)
+	sk, err := GenerateKey(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("attack at dawn")
+	s := sk.Sign(msg)
+	if !Verify(sk.PK, msg, s) {
+		t.Fatal("valid signature rejected")
+	}
+}
+
+func TestVerifyRejectsWrongMessage(t *testing.T) {
+	r := testRand(2)
+	sk, _ := GenerateKey(r)
+	s := sk.Sign([]byte("m1"))
+	if Verify(sk.PK, []byte("m2"), s) {
+		t.Fatal("signature verified for different message")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	r := testRand(3)
+	sk1, _ := GenerateKey(r)
+	sk2, _ := GenerateKey(r)
+	s := sk1.Sign([]byte("m"))
+	if Verify(sk2.PK, []byte("m"), s) {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestVerifyRejectsMangledSignature(t *testing.T) {
+	r := testRand(4)
+	sk, _ := GenerateKey(r)
+	s := sk.Sign([]byte("m"))
+	s.S = s.S.Add(s.C) // arbitrary corruption
+	if Verify(sk.PK, []byte("m"), s) {
+		t.Fatal("mangled signature verified")
+	}
+}
+
+func TestSignatureBytesRoundTrip(t *testing.T) {
+	r := testRand(5)
+	sk, _ := GenerateKey(r)
+	s := sk.Sign([]byte("round trip"))
+	b := s.Bytes()
+	if len(b) != Size {
+		t.Fatalf("encoded size %d, want %d", len(b), Size)
+	}
+	got, err := SignatureFromBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(sk.PK, []byte("round trip"), got) {
+		t.Fatal("decoded signature invalid")
+	}
+	if _, err := SignatureFromBytes(b[:10]); err == nil {
+		t.Fatal("accepted truncated signature")
+	}
+}
+
+func TestDeterministicSigning(t *testing.T) {
+	r := testRand(6)
+	sk, _ := GenerateKey(r)
+	a := sk.Sign([]byte("x"))
+	b := sk.Sign([]byte("x"))
+	if !a.C.Equal(b.C) || !a.S.Equal(b.S) {
+		t.Fatal("signing is not deterministic")
+	}
+}
+
+func TestQuorumCollectsDistinctSorted(t *testing.T) {
+	r := testRand(7)
+	msg := []byte("quorum msg")
+	const n = 7
+	pks := make([]PublicKey, n)
+	var q Quorum
+	order := []int{4, 1, 6, 1, 3, 4, 0}
+	sks := make([]PrivateKey, n)
+	for i := 0; i < n; i++ {
+		sks[i], _ = GenerateKey(r)
+		pks[i] = sks[i].PK
+	}
+	for _, i := range order {
+		q.Add(i, sks[i].Sign(msg))
+	}
+	if q.Len() != 5 {
+		t.Fatalf("quorum size %d, want 5 (duplicates ignored)", q.Len())
+	}
+	for i := 1; i < len(q.Indices); i++ {
+		if q.Indices[i-1] >= q.Indices[i] {
+			t.Fatal("indices not strictly increasing")
+		}
+	}
+	if !VerifyQuorum(pks, msg, &q, 5) {
+		t.Fatal("valid quorum rejected")
+	}
+	if VerifyQuorum(pks, msg, &q, 6) {
+		t.Fatal("quorum passed threshold it does not meet")
+	}
+}
+
+func TestVerifyQuorumRejectsBadMember(t *testing.T) {
+	r := testRand(8)
+	msg := []byte("m")
+	const n = 4
+	pks := make([]PublicKey, n)
+	sks := make([]PrivateKey, n)
+	for i := range sks {
+		sks[i], _ = GenerateKey(r)
+		pks[i] = sks[i].PK
+	}
+	var q Quorum
+	q.Add(0, sks[0].Sign(msg))
+	q.Add(1, sks[1].Sign([]byte("other"))) // invalid member
+	q.Add(2, sks[2].Sign(msg))
+	if VerifyQuorum(pks, msg, &q, 3) {
+		t.Fatal("quorum with invalid member accepted")
+	}
+	var q2 Quorum
+	q2.Add(0, sks[0].Sign(msg))
+	q2.Add(9, sks[1].Sign(msg)) // out-of-range signer
+	if VerifyQuorum(pks, msg, &q2, 2) {
+		t.Fatal("quorum with out-of-range signer accepted")
+	}
+	if VerifyQuorum(pks, msg, nil, 0) {
+		t.Fatal("nil quorum accepted")
+	}
+}

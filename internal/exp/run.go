@@ -1,0 +1,573 @@
+// Package exp contains the experiment runners behind EXPERIMENTS.md: each
+// Run* function builds a fresh keyed cluster, executes one protocol to
+// completion, and reports the paper's three metrics (§3) plus
+// outcome-quality fields (agreement, fairness, rounds-to-decide). It is
+// shared by cmd/benchtable, the root testing.B benchmarks, and the
+// integration test suite.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline/ajm21"
+	"repro/internal/baseline/ckls02"
+	"repro/internal/baseline/kms20"
+	"repro/internal/baseline/threshcoin"
+	"repro/internal/core/aba"
+	"repro/internal/core/adkg"
+	"repro/internal/core/avss"
+	"repro/internal/core/beacon"
+	"repro/internal/core/coin"
+	"repro/internal/core/election"
+	"repro/internal/core/seeding"
+	"repro/internal/core/vba"
+	"repro/internal/core/wcs"
+	"repro/internal/crypto/field"
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// Stats summarizes one protocol run with the paper's three metrics (§3).
+type Stats struct {
+	N, F   int
+	Msgs   int64
+	Bytes  int64
+	Rounds int   // max causal depth at output (asynchronous rounds)
+	Steps  int64 // simulator deliveries (not a paper metric; for context)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d msgs=%d bytes=%d rounds=%d", s.N, s.Msgs, s.Bytes, s.Rounds)
+}
+
+// RunSpec configures a single experiment run.
+type RunSpec struct {
+	N       int
+	F       int // negative = ⌊(n−1)/3⌋
+	Seed    int64
+	Genesis []byte        // non-nil → adaptive variant (skip Seeding)
+	Sched   sim.Scheduler // nil = random
+	Crash   int           // crash the top `Crash` parties
+	Steps   int64         // delivery budget; 0 = generous default
+}
+
+func (r RunSpec) steps() int64 {
+	if r.Steps > 0 {
+		return r.Steps
+	}
+	return 2_000_000_000
+}
+
+func (r RunSpec) cluster() (*harness.Cluster, error) {
+	f := r.F
+	if f < 0 {
+		f = (r.N - 1) / 3
+	}
+	byz := map[int]bool{}
+	for i := r.N - r.Crash; i < r.N; i++ {
+		byz[i] = true
+	}
+	return harness.NewCluster(r.N, f, r.Seed, harness.Options{Scheduler: r.Sched, Byzantine: byz, Crash: true})
+}
+
+func (r RunSpec) coinCfg() coin.Config { return coin.Config{GenesisNonce: r.Genesis} }
+
+func collectStats(c *harness.Cluster, rounds int) Stats {
+	m := c.Net.Metrics()
+	return Stats{
+		N: c.N, F: c.F,
+		Msgs: m.Honest.Msgs, Bytes: m.Honest.Bytes,
+		Rounds: rounds, Steps: c.Net.Steps(),
+	}
+}
+
+// CoinOutcome is the result of RunCoin.
+type CoinOutcome struct {
+	Stats    Stats
+	Agreed   bool // all honest parties output the same bit
+	Bit      byte // the (first party's) bit
+	MaxIsSet bool // the speculative max was non-⊥ everywhere
+	PerPhase map[string]sim.Tally
+}
+
+// RunCoin executes one common coin (Alg. 4) across a fresh cluster.
+func RunCoin(spec RunSpec) (CoinOutcome, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return CoinOutcome{}, err
+	}
+	res := make(map[int]coin.Result)
+	rounds := 0
+	c.EachHonest(func(i int) {
+		co := coin.New(c.Net.Node(i), "coin", c.Keys[i], spec.coinCfg(), func(r coin.Result) {
+			res[i] = r
+			if d := c.Net.Node(i).Depth(); d > rounds {
+				rounds = d
+			}
+		})
+		co.Start()
+	})
+	if err := c.Net.Run(spec.steps(), func() bool { return len(res) == c.Honest() }); err != nil {
+		return CoinOutcome{}, fmt.Errorf("coin run: %w", err)
+	}
+	out := CoinOutcome{Agreed: true, MaxIsSet: true, PerPhase: map[string]sim.Tally{
+		"seeding":   c.Net.Metrics().ByPrefix("coin/sd/"),
+		"avss":      c.Net.Metrics().ByPrefix("coin/av/"),
+		"wcs":       c.Net.Metrics().ByPrefix("coin/wcs"),
+		"recreq":    c.Net.Metrics().ByPrefix("coin/rr"),
+		"candidate": c.Net.Metrics().ByPrefix("coin/cd"),
+	}}
+	first := true
+	for _, r := range res {
+		if first {
+			out.Bit = r.Bit
+			first = false
+		} else if r.Bit != out.Bit {
+			out.Agreed = false
+		}
+		if r.Max == nil {
+			out.MaxIsSet = false
+		}
+	}
+	out.Stats = collectStats(c, rounds)
+	return out, nil
+}
+
+// ABAOutcome is the result of RunABA.
+type ABAOutcome struct {
+	Stats     Stats
+	Agreed    bool
+	Bit       byte
+	MeanRound float64 // mean DecidedRound across honest parties
+	MaxRound  int
+}
+
+// ABACoinKind selects the coin powering the ABA.
+type ABACoinKind int
+
+// Coin kinds for RunABA.
+const (
+	ABAPaperCoin  ABACoinKind = iota // the Alg. 4 coin (Theorem 4)
+	ABATestCoin                      // free perfect coin (costless-coin lower bound)
+	ABALocalCoin                     // Ben-Or style local coin (no agreement)
+	ABAThreshCoin                    // threshold coin WITH private setup (CKS'00)
+)
+
+// RunABA executes one binary agreement; inputs[i] is party i's bit.
+func RunABA(spec RunSpec, inputs []byte, kind ABACoinKind) (ABAOutcome, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return ABAOutcome{}, err
+	}
+	var setup *threshcoin.Setup
+	var tshares []field.Scalar
+	if kind == ABAThreshCoin {
+		s, sh, derr := threshcoin.Deal(c.N, c.F, rand.New(rand.NewSource(spec.Seed^0x7ea1)))
+		if derr != nil {
+			return ABAOutcome{}, derr
+		}
+		setup, tshares = s, sh
+	}
+	outs := make(map[int]byte)
+	insts := make([]*aba.ABA, c.N)
+	rounds := 0
+	c.EachHonest(func(i int) {
+		var coins aba.CoinFactory
+		switch kind {
+		case ABAPaperCoin:
+			coins = aba.PaperCoins(c.Net.Node(i), "aba/c", c.Keys[i], spec.coinCfg())
+		case ABATestCoin:
+			coins = aba.TestCoins(fmt.Sprint("h", spec.Seed))
+		case ABALocalCoin:
+			coins = aba.AdversarialCoins(fmt.Sprint("h", spec.Seed), i)
+		case ABAThreshCoin:
+			coins = threshcoin.Factory(c.Net.Node(i), "aba/tc", setup, tshares[i])
+		}
+		insts[i] = aba.New(c.Net.Node(i), "aba", coins, func(b byte) {
+			outs[i] = b
+			if d := c.Net.Node(i).Depth(); d > rounds {
+				rounds = d
+			}
+		})
+	})
+	c.EachHonest(func(i int) { insts[i].Start(inputs[i]) })
+	if err := c.Net.Run(spec.steps(), func() bool { return len(outs) == c.Honest() }); err != nil {
+		return ABAOutcome{}, fmt.Errorf("aba run: %w", err)
+	}
+	out := ABAOutcome{Agreed: true}
+	first := true
+	total := 0
+	cnt := 0
+	c.EachHonest(func(i int) {
+		if first {
+			out.Bit = outs[i]
+			first = false
+		} else if outs[i] != out.Bit {
+			out.Agreed = false
+		}
+		total += insts[i].DecidedRound
+		cnt++
+		if insts[i].DecidedRound > out.MaxRound {
+			out.MaxRound = insts[i].DecidedRound
+		}
+	})
+	out.MeanRound = float64(total) / float64(cnt)
+	out.Stats = collectStats(c, rounds)
+	return out, nil
+}
+
+// ElectionOutcome is the result of RunElection.
+type ElectionOutcome struct {
+	Stats     Stats
+	Agreed    bool
+	Leader    int
+	ByDefault bool
+}
+
+// RunElection executes one leader election (Alg. 5).
+func RunElection(spec RunSpec) (ElectionOutcome, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return ElectionOutcome{}, err
+	}
+	res := make(map[int]election.Result)
+	rounds := 0
+	c.EachHonest(func(i int) {
+		e := election.New(c.Net.Node(i), "el", c.Keys[i], election.Config{Coin: spec.coinCfg()}, func(r election.Result) {
+			res[i] = r
+			if d := c.Net.Node(i).Depth(); d > rounds {
+				rounds = d
+			}
+		})
+		e.Start()
+	})
+	if err := c.Net.Run(spec.steps(), func() bool { return len(res) == c.Honest() }); err != nil {
+		return ElectionOutcome{}, fmt.Errorf("election run: %w", err)
+	}
+	out := ElectionOutcome{Agreed: true}
+	first := true
+	for _, r := range res {
+		if first {
+			out.Leader, out.ByDefault = r.Leader, r.ByDefault
+			first = false
+		} else if r.Leader != out.Leader || r.ByDefault != out.ByDefault {
+			out.Agreed = false
+		}
+	}
+	out.Stats = collectStats(c, rounds)
+	return out, nil
+}
+
+// VBAOutcome is the result of RunVBA.
+type VBAOutcome struct {
+	Stats   Stats
+	Agreed  bool
+	Value   []byte
+	MaxView int
+}
+
+// RunVBA executes one validated BA; proposals[i] is party i's input, and
+// valid is the external predicate Q.
+func RunVBA(spec RunSpec, proposals [][]byte, valid vba.Predicate) (VBAOutcome, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return VBAOutcome{}, err
+	}
+	outs := make(map[int][]byte)
+	insts := make([]*vba.VBA, c.N)
+	rounds := 0
+	c.EachHonest(func(i int) {
+		insts[i] = vba.New(c.Net.Node(i), "vba", c.Keys[i], valid, vba.Config{Coin: spec.coinCfg()}, func(v []byte) {
+			outs[i] = v
+			if d := c.Net.Node(i).Depth(); d > rounds {
+				rounds = d
+			}
+		})
+	})
+	c.EachHonest(func(i int) { insts[i].Start(proposals[i]) })
+	if err := c.Net.Run(spec.steps(), func() bool { return len(outs) == c.Honest() }); err != nil {
+		return VBAOutcome{}, fmt.Errorf("vba run: %w", err)
+	}
+	out := VBAOutcome{Agreed: true}
+	var first []byte
+	c.EachHonest(func(i int) {
+		if first == nil {
+			first = outs[i]
+		} else if string(first) != string(outs[i]) {
+			out.Agreed = false
+		}
+		if insts[i].DecidedView > out.MaxView {
+			out.MaxView = insts[i].DecidedView
+		}
+	})
+	out.Value = first
+	out.Stats = collectStats(c, rounds)
+	return out, nil
+}
+
+// ADKGOutcome is the result of RunADKG.
+type ADKGOutcome struct {
+	Stats        Stats
+	KeysAgree    bool
+	Contributors int
+}
+
+// RunADKG executes one distributed key generation (§7.3).
+func RunADKG(spec RunSpec) (ADKGOutcome, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return ADKGOutcome{}, err
+	}
+	keys := make(map[int]adkg.ThresholdKey)
+	rounds := 0
+	c.EachHonest(func(i int) {
+		a := adkg.New(c.Net.Node(i), "dkg", c.Keys[i],
+			adkg.Config{VBA: vba.Config{Coin: spec.coinCfg()}}, func(k adkg.ThresholdKey) {
+				keys[i] = k
+				if d := c.Net.Node(i).Depth(); d > rounds {
+					rounds = d
+				}
+			})
+		a.Start()
+	})
+	if err := c.Net.Run(spec.steps(), func() bool { return len(keys) == c.Honest() }); err != nil {
+		return ADKGOutcome{}, fmt.Errorf("adkg run: %w", err)
+	}
+	out := ADKGOutcome{KeysAgree: true}
+	var ref *adkg.ThresholdKey
+	for _, k := range keys {
+		k := k
+		if ref == nil {
+			ref = &k
+			out.Contributors = k.Script.WeightCount()
+		} else if !k.GroupPK.Equal(ref.GroupPK) {
+			out.KeysAgree = false
+		}
+	}
+	out.Stats = collectStats(c, rounds)
+	return out, nil
+}
+
+// BeaconOutcome is the result of RunBeacon.
+type BeaconOutcome struct {
+	Stats       Stats
+	Epochs      int
+	Agreed      bool
+	Values      []beacon.Value
+	MeanAttempt float64
+}
+
+// RunBeacon executes `epochs` epochs of the DKG-free beacon (§7.3).
+func RunBeacon(spec RunSpec, epochs int) (BeaconOutcome, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return BeaconOutcome{}, err
+	}
+	got := make(map[int][]beacon.Epoch)
+	rounds := 0
+	c.EachHonest(func(i int) {
+		b := beacon.New(c.Net.Node(i), "bcn", c.Keys[i],
+			beacon.Config{Coin: spec.coinCfg(), Epochs: epochs}, func(e beacon.Epoch) {
+				got[i] = append(got[i], e)
+				if d := c.Net.Node(i).Depth(); d > rounds {
+					rounds = d
+				}
+			})
+		b.Start()
+	})
+	done := func() bool {
+		if len(got) < c.Honest() {
+			return false
+		}
+		for _, es := range got {
+			if len(es) < epochs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := c.Net.Run(spec.steps(), done); err != nil {
+		return BeaconOutcome{}, fmt.Errorf("beacon run: %w", err)
+	}
+	out := BeaconOutcome{Epochs: epochs, Agreed: true}
+	var ref []beacon.Epoch
+	totalAttempts := 0
+	for _, es := range got {
+		if ref == nil {
+			ref = es
+			for _, e := range es {
+				out.Values = append(out.Values, e.Value)
+				totalAttempts += e.Attempts
+			}
+		} else {
+			for k := range ref {
+				if es[k].Value != ref[k].Value {
+					out.Agreed = false
+				}
+			}
+		}
+	}
+	out.MeanAttempt = float64(totalAttempts) / float64(epochs)
+	out.Stats = collectStats(c, rounds)
+	return out, nil
+}
+
+// SubprotocolStats measures one AVSS, WCS or Seeding instance (E9–E11).
+func RunAVSS(spec RunSpec, payload int) (Stats, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return Stats{}, err
+	}
+	done := make(map[int]bool)
+	rounds := 0
+	insts := make([]*avss.AVSS, c.N)
+	c.EachHonest(func(i int) {
+		insts[i] = avss.New(c.Net.Node(i), "avss", c.Keys[i], 0, func(avss.ShareOutput) {
+			done[i] = true
+			if d := c.Net.Node(i).Depth(); d > rounds {
+				rounds = d
+			}
+		}, nil)
+	})
+	insts[0].StartDealer(make([]byte, payload))
+	if err := c.Net.Run(spec.steps(), func() bool { return len(done) == c.Honest() }); err != nil {
+		return Stats{}, fmt.Errorf("avss run: %w", err)
+	}
+	return collectStats(c, rounds), nil
+}
+
+// RunWCS measures one weak core-set selection (E10).
+func RunWCS(spec RunSpec) (Stats, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return Stats{}, err
+	}
+	done := make(map[int]bool)
+	rounds := 0
+	insts := make([]*wcs.WCS, c.N)
+	c.EachHonest(func(i int) {
+		insts[i] = wcs.New(c.Net.Node(i), "wcs", c.Keys[i], func(map[int]bool) {
+			done[i] = true
+			if d := c.Net.Node(i).Depth(); d > rounds {
+				rounds = d
+			}
+		})
+	})
+	c.EachHonest(func(i int) {
+		for j := 0; j < c.N-c.F; j++ {
+			insts[i].Add(j)
+		}
+	})
+	if err := c.Net.Run(spec.steps(), func() bool { return len(done) == c.Honest() }); err != nil {
+		return Stats{}, fmt.Errorf("wcs run: %w", err)
+	}
+	return collectStats(c, rounds), nil
+}
+
+// RunSeeding measures one Seeding instance (E11).
+func RunSeeding(spec RunSpec) (Stats, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return Stats{}, err
+	}
+	done := make(map[int]bool)
+	rounds := 0
+	c.EachHonest(func(i int) {
+		s := seeding.New(c.Net.Node(i), "sd", c.Keys[i], 0, func([seeding.SeedSize]byte) {
+			done[i] = true
+			if d := c.Net.Node(i).Depth(); d > rounds {
+				rounds = d
+			}
+		})
+		s.Start()
+	})
+	if err := c.Net.Run(spec.steps(), func() bool { return len(done) == c.Honest() }); err != nil {
+		return Stats{}, fmt.Errorf("seeding run: %w", err)
+	}
+	return collectStats(c, rounds), nil
+}
+
+// BaselineKind selects a Table 1 comparator coin.
+type BaselineKind int
+
+// Baseline coins for RunBaselineCoin.
+const (
+	BaselineCKLS02 BaselineKind = iota
+	BaselineAJM21
+	BaselineThresh
+)
+
+// RunBaselineCoin executes one baseline coin and reports its cost.
+func RunBaselineCoin(spec RunSpec, kind BaselineKind) (Stats, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return Stats{}, err
+	}
+	bits := make(map[int]byte)
+	rounds := 0
+	record := func(i int) func(byte) {
+		return func(b byte) {
+			bits[i] = b
+			if d := c.Net.Node(i).Depth(); d > rounds {
+				rounds = d
+			}
+		}
+	}
+	switch kind {
+	case BaselineCKLS02:
+		c.EachHonest(func(i int) { ckls02.New(c.Net.Node(i), "bl", c.Keys[i], record(i)).Start() })
+	case BaselineAJM21:
+		c.EachHonest(func(i int) { ajm21.New(c.Net.Node(i), "bl", c.Keys[i], record(i)).Start() })
+	case BaselineThresh:
+		setup, shares, derr := threshcoin.Deal(c.N, c.F, rand.New(rand.NewSource(spec.Seed^0x7ea1)))
+		if derr != nil {
+			return Stats{}, derr
+		}
+		c.EachHonest(func(i int) { threshcoin.New(c.Net.Node(i), "bl", setup, shares[i], record(i)).Start() })
+	}
+	if err := c.Net.Run(spec.steps(), func() bool { return len(bits) == c.Honest() }); err != nil {
+		return Stats{}, fmt.Errorf("baseline coin run: %w", err)
+	}
+	return collectStats(c, rounds), nil
+}
+
+// KMS20Outcome reports the two-phase KMS20 facsimile costs.
+type KMS20Outcome struct {
+	Bootstrap Stats
+	PerCoin   Stats
+}
+
+// RunKMS20 measures the bootstrap and one subsequent coin.
+func RunKMS20(spec RunSpec) (KMS20Outcome, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return KMS20Outcome{}, err
+	}
+	keys := make(map[int]kms20.Key)
+	rounds := 0
+	c.EachHonest(func(i int) {
+		b := kms20.NewBootstrap(c.Net.Node(i), "km", c.Keys[i], func(k kms20.Key) {
+			keys[i] = k
+			if d := c.Net.Node(i).Depth(); d > rounds {
+				rounds = d
+			}
+		})
+		b.Start()
+	})
+	if err := c.Net.Run(spec.steps(), func() bool { return len(keys) == c.Honest() }); err != nil {
+		return KMS20Outcome{}, fmt.Errorf("kms20 bootstrap: %w", err)
+	}
+	out := KMS20Outcome{Bootstrap: collectStats(c, rounds)}
+	preMsgs, preBytes := out.Bootstrap.Msgs, out.Bootstrap.Bytes
+	bits := make(map[int]byte)
+	c.EachHonest(func(i int) {
+		kms20.NewCoin(c.Net.Node(i), "km/c0", keys[i], func(b byte) { bits[i] = b }).Start()
+	})
+	if err := c.Net.Run(spec.steps(), func() bool { return len(bits) == c.Honest() }); err != nil {
+		return KMS20Outcome{}, fmt.Errorf("kms20 coin: %w", err)
+	}
+	m := c.Net.Metrics()
+	out.PerCoin = Stats{N: c.N, F: c.F, Msgs: m.Honest.Msgs - preMsgs, Bytes: m.Honest.Bytes - preBytes, Rounds: 1}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+// Package harness assembles simulated clusters — key setup (bulletin PKI),
+// network, per-node protocol wiring — and the experiment runners behind
+// EXPERIMENTS.md. It is shared by the test suite, the testing.B benchmarks,
+// and cmd/benchtable.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pki"
+	"repro/internal/sim"
+)
+
+// Cluster is a keyed simulated network of n parties.
+type Cluster struct {
+	N, F  int
+	Net   *sim.Network
+	Keys  []*pki.Keyring
+	Board *pki.Board
+	Byz   map[int]bool
+}
+
+// Options tune cluster construction.
+type Options struct {
+	Scheduler sim.Scheduler
+	Byzantine map[int]bool // corrupted parties (crashed unless wired otherwise by the test)
+	Crash     bool         // if true, Byzantine parties are crashed outright
+}
+
+// NewCluster builds an n-party cluster with fresh deterministic keys.
+// f defaults to ⌊(n−1)/3⌋ when negative.
+func NewCluster(n, f int, seed int64, opts Options) (*Cluster, error) {
+	if f < 0 {
+		f = (n - 1) / 3
+	}
+	if n < 3*f+1 {
+		return nil, fmt.Errorf("harness: n=%d cannot tolerate f=%d", n, f)
+	}
+	keyRng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	keys, board, err := pki.Setup(n, keyRng)
+	if err != nil {
+		return nil, fmt.Errorf("harness: key setup: %w", err)
+	}
+	nw := sim.New(sim.Config{
+		N: n, F: f, Seed: seed,
+		Scheduler: opts.Scheduler,
+		Byzantine: opts.Byzantine,
+	})
+	c := &Cluster{N: n, F: f, Net: nw, Keys: keys, Board: board, Byz: opts.Byzantine}
+	if c.Byz == nil {
+		c.Byz = map[int]bool{}
+	}
+	if opts.Crash {
+		for i := range c.Byz {
+			if c.Byz[i] {
+				nw.Node(i).Crash()
+			}
+		}
+	}
+	return c, nil
+}
+
+// Honest returns the number of non-corrupted parties.
+func (c *Cluster) Honest() int {
+	h := c.N
+	for _, b := range c.Byz {
+		if b {
+			h--
+		}
+	}
+	return h
+}
+
+// EachHonest invokes fn for every honest party index.
+func (c *Cluster) EachHonest(fn func(i int)) {
+	for i := 0; i < c.N; i++ {
+		if !c.Byz[i] {
+			fn(i)
+		}
+	}
+}
+
+// FirstFByzantine marks parties 0 … f-1 as corrupted — a convenient worst
+// case because low indices win ties in several protocols.
+func FirstFByzantine(f int) map[int]bool {
+	m := make(map[int]bool, f)
+	for i := 0; i < f; i++ {
+		m[i] = true
+	}
+	return m
+}
+
+// LastFByzantine marks the top-indexed f parties as corrupted.
+func LastFByzantine(n, f int) map[int]bool {
+	m := make(map[int]bool, f)
+	for i := n - f; i < n; i++ {
+		m[i] = true
+	}
+	return m
+}

@@ -1,0 +1,73 @@
+package harness
+
+import "testing"
+
+func TestNewClusterDefaults(t *testing.T) {
+	c, err := NewCluster(7, -1, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.F != 2 {
+		t.Fatalf("default f = %d, want 2", c.F)
+	}
+	if c.Honest() != 7 {
+		t.Fatalf("honest = %d", c.Honest())
+	}
+	if len(c.Keys) != 7 || c.Board.N() != 7 {
+		t.Fatal("key setup incomplete")
+	}
+}
+
+func TestNewClusterRejectsBadResilience(t *testing.T) {
+	if _, err := NewCluster(4, 2, 1, Options{}); err == nil {
+		t.Fatal("accepted n=4, f=2")
+	}
+}
+
+func TestByzantineAccounting(t *testing.T) {
+	byz := LastFByzantine(7, 2)
+	c, err := NewCluster(7, 2, 2, Options{Byzantine: byz, Crash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Honest() != 5 {
+		t.Fatalf("honest = %d, want 5", c.Honest())
+	}
+	count := 0
+	c.EachHonest(func(i int) {
+		if byz[i] {
+			t.Fatalf("EachHonest visited byzantine party %d", i)
+		}
+		count++
+	})
+	if count != 5 {
+		t.Fatalf("EachHonest visited %d parties", count)
+	}
+}
+
+func TestFirstLastByzantineHelpers(t *testing.T) {
+	first := FirstFByzantine(2)
+	if !first[0] || !first[1] || first[2] {
+		t.Fatalf("FirstFByzantine: %v", first)
+	}
+	last := LastFByzantine(7, 2)
+	if !last[5] || !last[6] || last[4] {
+		t.Fatalf("LastFByzantine: %v", last)
+	}
+}
+
+func TestDeterministicKeys(t *testing.T) {
+	a, err := NewCluster(4, -1, 42, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCluster(4, -1, 42, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !a.Board.Parties[i].Sig.P.Equal(b.Board.Parties[i].Sig.P) {
+			t.Fatalf("party %d keys differ across same-seed clusters", i)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+// Package livenet is a concurrent runtime for the protocol stack: every
+// party runs its own dispatcher goroutine and messages travel over either
+// in-process queues with random delivery jitter or real TCP loopback
+// connections. It implements the same proto.Runtime surface as the
+// deterministic simulator, so every protocol in internal/core runs on it
+// unchanged — this is the deployment-shaped execution path, while
+// internal/sim remains the measurement and adversarial-testing path.
+//
+// Concurrency contract: all protocol callbacks and handlers of one node run
+// on that node's dispatcher goroutine, preserving the single-threaded
+// protocol contract. External code interacts with a node only through
+// Do(fn), which schedules fn onto the dispatcher.
+//
+// The TCP transport identifies peers by an unauthenticated handshake id —
+// it demonstrates wire-level operation on one machine; a production
+// deployment would bind transport identity to the PKI.
+package livenet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Transport selects the message fabric.
+type Transport int
+
+// Available transports.
+const (
+	// Channels delivers through in-process queues with random jitter.
+	Channels Transport = iota
+	// TCP delivers over loopback TCP connections (full mesh).
+	TCP
+)
+
+// Config describes a live network.
+type Config struct {
+	N, F      int
+	Seed      int64
+	Transport Transport
+	// Jitter is the maximum random delivery delay for the Channels
+	// transport (0 = immediate). It creates real asynchrony.
+	Jitter time.Duration
+}
+
+// Network is a running live cluster.
+type Network struct {
+	n, f  int
+	nodes []*Node
+	tr    transport
+
+	jmu  sync.Mutex
+	jrng *rand.Rand
+
+	closeOnce sync.Once
+}
+
+type transport interface {
+	send(from, to int, inst string, body []byte)
+	close()
+}
+
+type task struct {
+	// Either a message…
+	from int
+	inst string
+	body []byte
+	// …or a job.
+	fn func()
+}
+
+// Node is one party's live runtime.
+type Node struct {
+	nw  *Network
+	idx int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []task
+	insts   map[string]proto.Handler
+	pending map[string][]task
+	closed  bool
+
+	rng      *rand.Rand // used only on the dispatcher goroutine
+	rejected atomic.Int64
+	done     sync.WaitGroup
+	crashed  bool
+}
+
+var _ proto.Runtime = (*Node)(nil)
+
+// New starts a live network with running dispatchers.
+func New(cfg Config) (*Network, error) {
+	if cfg.N <= 0 {
+		return nil, errors.New("livenet: N must be positive")
+	}
+	nw := &Network{
+		n:    cfg.N,
+		f:    cfg.F,
+		jrng: rand.New(rand.NewSource(cfg.Seed ^ 0x11ff)),
+	}
+	for i := 0; i < cfg.N; i++ {
+		nd := &Node{
+			nw:      nw,
+			idx:     i,
+			insts:   make(map[string]proto.Handler),
+			pending: make(map[string][]task),
+			rng:     rand.New(rand.NewSource(cfg.Seed*7_368_787 + int64(i))),
+		}
+		nd.cond = sync.NewCond(&nd.mu)
+		nw.nodes = append(nw.nodes, nd)
+	}
+	switch cfg.Transport {
+	case Channels:
+		nw.tr = &chanTransport{nw: nw, jitter: cfg.Jitter}
+	case TCP:
+		tr, err := newTCPTransport(nw)
+		if err != nil {
+			return nil, fmt.Errorf("livenet: tcp transport: %w", err)
+		}
+		nw.tr = tr
+	default:
+		return nil, fmt.Errorf("livenet: unknown transport %d", cfg.Transport)
+	}
+	for _, nd := range nw.nodes {
+		nd.done.Add(1)
+		go nd.dispatch()
+	}
+	return nw, nil
+}
+
+// Node returns party i's runtime.
+func (nw *Network) Node(i int) *Node { return nw.nodes[i] }
+
+// Close stops dispatchers and the transport. It is idempotent.
+func (nw *Network) Close() {
+	nw.closeOnce.Do(func() {
+		nw.tr.close()
+		for _, nd := range nw.nodes {
+			nd.mu.Lock()
+			nd.closed = true
+			nd.cond.Broadcast()
+			nd.mu.Unlock()
+		}
+		for _, nd := range nw.nodes {
+			nd.done.Wait()
+		}
+	})
+}
+
+// Rejected reports the total malformed messages dropped across nodes.
+func (nw *Network) Rejected() int64 {
+	var t int64
+	for _, nd := range nw.nodes {
+		t += nd.rejected.Load()
+	}
+	return t
+}
+
+func (nw *Network) jitterDelay(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	nw.jmu.Lock()
+	defer nw.jmu.Unlock()
+	return time.Duration(nw.jrng.Int63n(int64(max)))
+}
+
+// --- Node: proto.Runtime ---
+
+// N returns the party count.
+func (nd *Node) N() int { return nd.nw.n }
+
+// F returns the corruption bound.
+func (nd *Node) F() int { return nd.nw.f }
+
+// Self returns this node's index.
+func (nd *Node) Self() int { return nd.idx }
+
+// Depth always returns 0: the live runtime does not track causal rounds.
+func (nd *Node) Depth() int { return 0 }
+
+// RandReader returns the dispatcher-local randomness source.
+func (nd *Node) RandReader() *rand.Rand { return nd.rng }
+
+// Reject counts a malformed inbound message.
+func (nd *Node) Reject() { nd.rejected.Add(1) }
+
+// Register installs a handler and replays buffered messages for it.
+func (nd *Node) Register(inst string, h proto.Handler) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if _, dup := nd.insts[inst]; dup {
+		panic(fmt.Sprintf("livenet: node %d: duplicate instance %q", nd.idx, inst))
+	}
+	nd.insts[inst] = h
+	if buf := nd.pending[inst]; len(buf) > 0 {
+		nd.queue = append(nd.queue, buf...)
+		delete(nd.pending, inst)
+		nd.cond.Broadcast()
+	}
+}
+
+// Send routes a message to the same instance on node `to`.
+func (nd *Node) Send(inst string, to int, body []byte) {
+	if to < 0 || to >= nd.nw.n {
+		return
+	}
+	nd.nw.tr.send(nd.idx, to, inst, body)
+}
+
+// Multicast sends to all parties, self included.
+func (nd *Node) Multicast(inst string, body []byte) {
+	for to := 0; to < nd.nw.n; to++ {
+		nd.Send(inst, to, body)
+	}
+}
+
+// Do schedules fn onto the node's dispatcher goroutine — the only legal way
+// for external code to touch protocol state (e.g. calling Start).
+func (nd *Node) Do(fn func()) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.closed || nd.crashed {
+		return
+	}
+	nd.queue = append(nd.queue, task{fn: fn})
+	nd.cond.Broadcast()
+}
+
+// enqueue appends an inbound message (called by transports).
+func (nd *Node) enqueue(from int, inst string, body []byte) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.closed || nd.crashed {
+		return
+	}
+	nd.queue = append(nd.queue, task{from: from, inst: inst, body: body})
+	nd.cond.Broadcast()
+}
+
+// dispatch is the node's event loop.
+func (nd *Node) dispatch() {
+	defer nd.done.Done()
+	for {
+		nd.mu.Lock()
+		for len(nd.queue) == 0 && !nd.closed {
+			nd.cond.Wait()
+		}
+		if nd.closed {
+			nd.mu.Unlock()
+			return
+		}
+		t := nd.queue[0]
+		nd.queue = nd.queue[1:]
+		var h proto.Handler
+		if t.fn == nil {
+			var ok bool
+			h, ok = nd.insts[t.inst]
+			if !ok {
+				nd.pending[t.inst] = append(nd.pending[t.inst], t)
+				nd.mu.Unlock()
+				continue
+			}
+		}
+		nd.mu.Unlock()
+		if t.fn != nil {
+			t.fn()
+		} else {
+			h.Handle(t.from, t.body)
+		}
+	}
+}
+
+// --- channel transport ---
+
+type chanTransport struct {
+	nw     *Network
+	jitter time.Duration
+}
+
+func (c *chanTransport) send(from, to int, inst string, body []byte) {
+	b := append([]byte(nil), body...)
+	if d := c.nw.jitterDelay(c.jitter); d > 0 {
+		time.AfterFunc(d, func() { c.nw.nodes[to].enqueue(from, inst, b) })
+		return
+	}
+	c.nw.nodes[to].enqueue(from, inst, b)
+}
+
+func (c *chanTransport) close() {}
+
+// --- TCP transport ---
+
+type tcpTransport struct {
+	nw        *Network
+	listeners []net.Listener
+	mu        sync.Mutex
+	conns     map[[2]int]net.Conn // [from][to] -> outbound conn
+	wmu       map[[2]int]*sync.Mutex
+	closed    atomic.Bool
+	readers   sync.WaitGroup
+}
+
+func newTCPTransport(nw *Network) (*tcpTransport, error) {
+	tr := &tcpTransport{
+		nw:    nw,
+		conns: make(map[[2]int]net.Conn),
+		wmu:   make(map[[2]int]*sync.Mutex),
+	}
+	addrs := make([]string, nw.n)
+	for i := 0; i < nw.n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tr.close()
+			return nil, err
+		}
+		tr.listeners = append(tr.listeners, ln)
+		addrs[i] = ln.Addr().String()
+		to := i
+		go tr.acceptLoop(ln, to)
+	}
+	// Full mesh: every ordered pair (from, to), from ≠ to, gets one
+	// outbound connection; self-sends short-circuit in send().
+	for from := 0; from < nw.n; from++ {
+		for to := 0; to < nw.n; to++ {
+			if from == to {
+				continue
+			}
+			conn, err := net.Dial("tcp", addrs[to])
+			if err != nil {
+				tr.close()
+				return nil, err
+			}
+			var hello [4]byte
+			binary.BigEndian.PutUint32(hello[:], uint32(from))
+			if _, err := conn.Write(hello[:]); err != nil {
+				tr.close()
+				return nil, err
+			}
+			key := [2]int{from, to}
+			tr.conns[key] = conn
+			tr.wmu[key] = &sync.Mutex{}
+		}
+	}
+	return tr, nil
+}
+
+func (tr *tcpTransport) acceptLoop(ln net.Listener, to int) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		tr.readers.Add(1)
+		go tr.readLoop(conn, to)
+	}
+}
+
+func (tr *tcpTransport) readLoop(conn net.Conn, to int) {
+	defer tr.readers.Done()
+	defer conn.Close()
+	var hello [4]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
+	from := int(binary.BigEndian.Uint32(hello[:]))
+	if from < 0 || from >= tr.nw.n {
+		return
+	}
+	for {
+		var hdr [6]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		total := binary.BigEndian.Uint32(hdr[:4])
+		instLen := binary.BigEndian.Uint16(hdr[4:])
+		if total > 1<<24 || uint32(instLen) > total {
+			return
+		}
+		buf := make([]byte, total)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		if tr.closed.Load() {
+			return
+		}
+		tr.nw.nodes[to].enqueue(from, string(buf[:instLen]), buf[instLen:])
+	}
+}
+
+func (tr *tcpTransport) send(from, to int, inst string, body []byte) {
+	if tr.closed.Load() {
+		return
+	}
+	if from == to {
+		tr.nw.nodes[to].enqueue(from, inst, append([]byte(nil), body...))
+		return
+	}
+	key := [2]int{from, to}
+	tr.mu.Lock()
+	conn, mu := tr.conns[key], tr.wmu[key]
+	tr.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	frame := make([]byte, 6+len(inst)+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(inst)+len(body)))
+	binary.BigEndian.PutUint16(frame[4:6], uint16(len(inst)))
+	copy(frame[6:], inst)
+	copy(frame[6+len(inst):], body)
+	mu.Lock()
+	_, _ = conn.Write(frame)
+	mu.Unlock()
+}
+
+func (tr *tcpTransport) close() {
+	tr.closed.Store(true)
+	for _, ln := range tr.listeners {
+		_ = ln.Close()
+	}
+	tr.mu.Lock()
+	for _, c := range tr.conns {
+		_ = c.Close()
+	}
+	tr.mu.Unlock()
+}
+
+// Crash makes the node drop all future deliveries and jobs — a
+// crash-faulty party on the live runtime.
+func (nd *Node) Crash() {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.queue = nil
+	nd.insts = make(map[string]proto.Handler)
+	nd.pending = make(map[string][]task)
+	nd.crashed = true
+}

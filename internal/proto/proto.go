@@ -1,0 +1,53 @@
+// Package proto defines the runtime surface protocols are written against.
+// Two runtimes implement it:
+//
+//   - internal/sim — the deterministic single-threaded network simulator
+//     with adversarial scheduling and cost accounting (tests, experiments);
+//   - internal/livenet — a concurrent runtime where each party runs its own
+//     dispatcher goroutine and messages travel over buffered queues or real
+//     TCP loopback connections (deployment-shaped executions).
+//
+// Protocol state machines are single-threaded by contract: a runtime must
+// deliver all messages of one node sequentially, so protocol code never
+// locks. Handlers must tolerate messages arriving before local activation —
+// runtimes buffer deliveries for instance paths that are not yet registered.
+package proto
+
+import "math/rand"
+
+// Handler consumes messages addressed to one protocol instance on one node.
+type Handler interface {
+	Handle(from int, body []byte)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(from int, body []byte)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(from int, body []byte) { f(from, body) }
+
+// Runtime is one party's view of the network, handed to protocol
+// constructors.
+type Runtime interface {
+	// N is the total number of parties.
+	N() int
+	// F is the corruption bound.
+	F() int
+	// Self is this party's 0-based index.
+	Self() int
+	// Depth reports the asynchronous round (causal depth) of the message
+	// currently being processed; runtimes without causal tracking return 0.
+	Depth() int
+	// RandReader is this party's randomness source. It is only used from
+	// the party's dispatch context, so implementations need no locking.
+	RandReader() *rand.Rand
+	// Register installs the handler for an instance path and replays any
+	// buffered messages addressed to it.
+	Register(inst string, h Handler)
+	// Send routes a message to the same instance path on party `to`.
+	Send(inst string, to int, body []byte)
+	// Multicast sends to all n parties, self included.
+	Multicast(inst string, body []byte)
+	// Reject records a malformed or mis-attributed inbound message.
+	Reject()
+}

@@ -1,0 +1,399 @@
+// Package sim is a deterministic in-process asynchronous network simulator.
+//
+// Protocols are reactive state machines (Handler); the network holds every
+// in-flight message and a Scheduler decides which one is delivered next —
+// this is exactly the paper's adversary, which "must be consulted to approve
+// the delivery of messages … can arbitrarily delay and reorder" (§3). All
+// randomness flows from the run seed, so executions replay bit-for-bit.
+//
+// The simulator measures the paper's three complexity metrics:
+//
+//   - message complexity: count of messages sent by honest parties;
+//   - communication complexity: wire-encoded bytes of those messages;
+//   - asynchronous rounds: causal depth, per §3's virtual-round definition —
+//     a message sent while processing a depth-d delivery has depth d+1.
+//
+// Messages addressed to instances that are not yet registered are buffered
+// and replayed on registration; in an asynchronous network, arrival before
+// local activation is the norm, not an error.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/proto"
+)
+
+// envelopeOverhead approximates the per-message framing a networked
+// deployment would add (length, sender, instance-path length).
+const envelopeOverhead = 12
+
+// Handler is the per-instance message consumer (alias of proto.Handler).
+type Handler = proto.Handler
+
+// HandlerFunc adapts a function to Handler (alias of proto.HandlerFunc).
+type HandlerFunc = proto.HandlerFunc
+
+// Node implements the protocol-facing runtime surface.
+var _ proto.Runtime = (*Node)(nil)
+
+// Envelope is an in-flight message, visible to Scheduler policies.
+type Envelope struct {
+	From, To int
+	Inst     string
+	Body     []byte
+	Depth    int
+	Seq      int64
+}
+
+// Scheduler picks which in-flight message is delivered next.
+type Scheduler interface {
+	Pick(r *rand.Rand, q []*Envelope) int
+}
+
+// SchedulerFunc adapts a function to Scheduler.
+type SchedulerFunc func(r *rand.Rand, q []*Envelope) int
+
+// Pick implements Scheduler.
+func (f SchedulerFunc) Pick(r *rand.Rand, q []*Envelope) int { return f(r, q) }
+
+// RandomScheduler delivers a uniformly random in-flight message — the
+// baseline asynchronous adversary.
+func RandomScheduler() Scheduler {
+	return SchedulerFunc(func(r *rand.Rand, q []*Envelope) int { return r.Intn(len(q)) })
+}
+
+// FIFOScheduler delivers messages in send order (a best-case network).
+func FIFOScheduler() Scheduler {
+	return SchedulerFunc(func(_ *rand.Rand, _ []*Envelope) int { return 0 })
+}
+
+// DelayScheduler adversarially starves traffic touching the Slow set: with
+// probability Bias it delivers a message not involving a slow party when one
+// exists. Models targeted message delay within eventual delivery.
+type DelayScheduler struct {
+	Slow map[int]bool
+	Bias float64
+}
+
+// Pick implements Scheduler.
+func (d DelayScheduler) Pick(r *rand.Rand, q []*Envelope) int {
+	if r.Float64() < d.Bias {
+		fast := make([]int, 0, len(q))
+		for i, e := range q {
+			if !d.Slow[e.From] && !d.Slow[e.To] {
+				fast = append(fast, i)
+			}
+		}
+		if len(fast) > 0 {
+			return fast[r.Intn(len(fast))]
+		}
+	}
+	return r.Intn(len(q))
+}
+
+// Tally accumulates message and byte counts.
+type Tally struct {
+	Msgs  int64
+	Bytes int64
+}
+
+func (t *Tally) add(bytes int64) {
+	t.Msgs++
+	t.Bytes += bytes
+}
+
+// Metrics is the per-run accounting snapshot.
+type Metrics struct {
+	Honest   Tally             // messages sent by honest parties (the paper's metrics)
+	Byz      Tally             // messages sent by corrupted parties (not part of the paper's cost)
+	PerInst  map[string]*Tally // honest traffic keyed by instance path
+	Rejected int64             // malformed/mis-attributed messages dropped by handlers
+	MaxDepth int               // largest causal depth processed
+}
+
+// ByPrefix sums honest traffic over instance paths with the given prefix.
+func (m *Metrics) ByPrefix(prefix string) Tally {
+	var t Tally
+	for inst, tally := range m.PerInst {
+		if strings.HasPrefix(inst, prefix) {
+			t.Msgs += tally.Msgs
+			t.Bytes += tally.Bytes
+		}
+	}
+	return t
+}
+
+// Config describes a simulated network.
+type Config struct {
+	N, F      int
+	Seed      int64
+	Scheduler Scheduler // nil means RandomScheduler
+	Byzantine map[int]bool
+}
+
+// Network is the simulated asynchronous network.
+type Network struct {
+	n, f    int
+	rng     *rand.Rand
+	sched   Scheduler
+	queue   []*Envelope
+	nodes   []*Node
+	byz     map[int]bool
+	metrics Metrics
+	seq     int64
+	steps   int64
+}
+
+// New builds a network with n fresh nodes.
+func New(cfg Config) *Network {
+	if cfg.N <= 0 {
+		panic("sim: N must be positive")
+	}
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = RandomScheduler()
+	}
+	nw := &Network{
+		n:     cfg.N,
+		f:     cfg.F,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		sched: sched,
+		byz:   cfg.Byzantine,
+	}
+	nw.metrics.PerInst = make(map[string]*Tally)
+	for i := 0; i < cfg.N; i++ {
+		nw.nodes = append(nw.nodes, &Node{
+			nw:      nw,
+			idx:     i,
+			insts:   make(map[string]Handler),
+			pending: make(map[string][]pend),
+			rng:     rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i))),
+		})
+	}
+	return nw
+}
+
+// Node returns the i-th node's runtime view.
+func (nw *Network) Node(i int) *Node { return nw.nodes[i] }
+
+// Metrics returns the live accounting snapshot.
+func (nw *Network) Metrics() *Metrics { return &nw.metrics }
+
+// Pending reports the number of in-flight messages.
+func (nw *Network) Pending() int { return len(nw.queue) }
+
+// Steps reports how many deliveries have been executed.
+func (nw *Network) Steps() int64 { return nw.steps }
+
+// IsByzantine reports whether party i is marked corrupted.
+func (nw *Network) IsByzantine(i int) bool { return nw.byz[i] }
+
+// Inject enqueues an arbitrary message on behalf of (possibly corrupted)
+// party `from`. Tests use it to model fabricated traffic.
+func (nw *Network) Inject(from, to int, inst string, body []byte) {
+	nw.enqueue(from, to, inst, body, 1)
+}
+
+func (nw *Network) enqueue(from, to int, inst string, body []byte, depth int) {
+	if to < 0 || to >= nw.n {
+		return
+	}
+	nw.seq++
+	env := &Envelope{From: from, To: to, Inst: inst, Body: body, Depth: depth, Seq: nw.seq}
+	nw.queue = append(nw.queue, env)
+	cost := int64(len(body) + len(inst) + envelopeOverhead)
+	if nw.byz[from] {
+		nw.metrics.Byz.add(cost)
+		return
+	}
+	nw.metrics.Honest.add(cost)
+	t := nw.metrics.PerInst[inst]
+	if t == nil {
+		t = &Tally{}
+		nw.metrics.PerInst[inst] = t
+	}
+	t.add(cost)
+}
+
+// Step delivers one message (plus any replayed buffered messages it
+// unlocks). It returns false when nothing is in flight.
+func (nw *Network) Step() bool {
+	progressed := nw.drainReplays()
+	if len(nw.queue) == 0 {
+		return progressed
+	}
+	i := nw.sched.Pick(nw.rng, nw.queue)
+	if i < 0 || i >= len(nw.queue) {
+		i = 0
+	}
+	env := nw.queue[i]
+	nw.queue[i] = nw.queue[len(nw.queue)-1]
+	nw.queue = nw.queue[:len(nw.queue)-1]
+	nw.steps++
+	nw.deliver(env)
+	nw.drainReplays()
+	return true
+}
+
+// drainReplays processes buffered messages unlocked by registrations.
+func (nw *Network) drainReplays() bool {
+	any := false
+	for progress := true; progress; {
+		progress = false
+		for _, nd := range nw.nodes {
+			for len(nd.replay) > 0 {
+				p := nd.replay[0]
+				nd.replay = nd.replay[1:]
+				nw.dispatch(nd, p.env)
+				progress, any = true, true
+			}
+		}
+	}
+	return any
+}
+
+func (nw *Network) deliver(env *Envelope) {
+	nd := nw.nodes[env.To]
+	if nd.crashed {
+		return
+	}
+	if h, ok := nd.insts[env.Inst]; ok {
+		nw.run(nd, env, h)
+		return
+	}
+	nd.pending[env.Inst] = append(nd.pending[env.Inst], pend{env: env})
+}
+
+func (nw *Network) dispatch(nd *Node, env *Envelope) {
+	if nd.crashed {
+		return
+	}
+	if h, ok := nd.insts[env.Inst]; ok {
+		nw.run(nd, env, h)
+	} else {
+		nd.pending[env.Inst] = append(nd.pending[env.Inst], pend{env: env})
+	}
+}
+
+func (nw *Network) run(nd *Node, env *Envelope, h Handler) {
+	prev := nd.depth
+	nd.depth = env.Depth
+	if env.Depth > nw.metrics.MaxDepth {
+		nw.metrics.MaxDepth = env.Depth
+	}
+	h.Handle(env.From, env.Body)
+	nd.depth = prev
+}
+
+// Run steps the network until done() reports true, the queue drains, or
+// maxSteps deliveries have happened. It returns an error on step exhaustion
+// while done() is still false (a liveness-failure signal for tests).
+func (nw *Network) Run(maxSteps int64, done func() bool) error {
+	for s := int64(0); ; s++ {
+		nw.drainReplays()
+		if done != nil && done() {
+			return nil
+		}
+		if len(nw.queue) == 0 {
+			if done == nil || done() {
+				return nil
+			}
+			return fmt.Errorf("sim: queue drained after %d steps but run not done", s)
+		}
+		if s >= maxSteps {
+			return fmt.Errorf("sim: exceeded %d steps (%d messages still in flight)", maxSteps, len(nw.queue))
+		}
+		nw.Step()
+	}
+}
+
+// RunAll delivers every message until the network is quiescent.
+func (nw *Network) RunAll(maxSteps int64) error {
+	for s := int64(0); ; s++ {
+		nw.drainReplays()
+		if len(nw.queue) == 0 {
+			return nil
+		}
+		if s >= maxSteps {
+			return fmt.Errorf("sim: exceeded %d steps (%d in flight)", maxSteps, len(nw.queue))
+		}
+		nw.Step()
+	}
+}
+
+// Reject records a malformed message dropped by a handler.
+func (nw *Network) Reject() { nw.metrics.Rejected++ }
+
+type pend struct {
+	env *Envelope
+}
+
+// Node is one party's runtime: protocol instances register here, and the
+// node is the Runtime handed to protocol constructors.
+type Node struct {
+	nw      *Network
+	idx     int
+	insts   map[string]Handler
+	pending map[string][]pend
+	replay  []pend
+	depth   int
+	rng     *rand.Rand
+	crashed bool
+}
+
+// N returns the party count.
+func (nd *Node) N() int { return nd.nw.n }
+
+// F returns the corruption bound.
+func (nd *Node) F() int { return nd.nw.f }
+
+// Self returns this node's 0-based index.
+func (nd *Node) Self() int { return nd.idx }
+
+// Depth returns the causal depth currently being processed — the
+// asynchronous round number of the triggering message.
+func (nd *Node) Depth() int { return nd.depth }
+
+// RandReader exposes the node's deterministic randomness source.
+func (nd *Node) RandReader() *rand.Rand { return nd.rng }
+
+// Crash makes the node drop all future deliveries (a crashed party).
+func (nd *Node) Crash() { nd.crashed = true }
+
+// Register installs the handler for an instance path and schedules replay of
+// any buffered messages for it.
+func (nd *Node) Register(inst string, h Handler) {
+	if _, dup := nd.insts[inst]; dup {
+		panic(fmt.Sprintf("sim: node %d: duplicate instance %q", nd.idx, inst))
+	}
+	nd.insts[inst] = h
+	if buf := nd.pending[inst]; len(buf) > 0 {
+		nd.replay = append(nd.replay, buf...)
+		delete(nd.pending, inst)
+	}
+}
+
+// Registered reports whether the instance path has a handler.
+func (nd *Node) Registered(inst string) bool {
+	_, ok := nd.insts[inst]
+	return ok
+}
+
+// Send routes a message to the same instance path on node `to`. The message
+// inherits causal depth current+1.
+func (nd *Node) Send(inst string, to int, body []byte) {
+	nd.nw.enqueue(nd.idx, to, inst, body, nd.depth+1)
+}
+
+// Multicast sends to all n parties, self included (the paper's multicast).
+func (nd *Node) Multicast(inst string, body []byte) {
+	for to := 0; to < nd.nw.n; to++ {
+		nd.Send(inst, to, body)
+	}
+}
+
+// Reject records a malformed inbound message.
+func (nd *Node) Reject() { nd.nw.Reject() }

@@ -1,0 +1,236 @@
+// Package repro is a from-scratch Go reproduction of "Efficient
+// Asynchronous Byzantine Agreement without Private Setups" (Gao, Lu, Lu,
+// Tang, Xu, Zhang — ICDCS 2022): the full protocol stack — AVSS, weak
+// core-set selection, reliable broadcasted seeding, reasonably fair common
+// coin, binary agreement, leader election with perfect agreement, validated
+// Byzantine agreement — plus the two §7.3 applications (asynchronous DKG
+// and a DKG-free random beacon), all assuming only a bulletin PKI.
+//
+// Every entry point spins up a deterministic simulated asynchronous
+// network (n parties, up to f = ⌊(n−1)/3⌋ Byzantine, adversarial message
+// scheduling), runs one protocol to completion, and returns the outcome
+// together with the paper's cost metrics: messages, communicated bytes and
+// asynchronous rounds.
+//
+//	res, err := repro.ElectLeader(repro.Config{N: 4, Seed: 1})
+//	// res.Leader is the same at every honest party (Theorem 5);
+//	// res.Stats.Bytes documents the expected O(λn³) communication.
+//
+// Deeper control (custom schedulers, Byzantine behaviours, sub-protocol
+// access, Table 1 baselines) lives in the internal packages; see DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the paper-vs-measured
+// record.
+package repro
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/exp"
+)
+
+// Config selects the cluster shape for a protocol run.
+type Config struct {
+	// N is the number of parties (required, ≥ 4 for f ≥ 1).
+	N int
+	// F bounds corruptions; zero or negative selects ⌊(N−1)/3⌋.
+	F int
+	// Seed drives all randomness; equal seeds replay identical executions.
+	Seed int64
+	// GenesisNonce, when non-nil, switches the coin layer to the paper's
+	// adaptively secure variant under a one-time common random string
+	// (Table 1's "PKI, 1-time rnd" row): Seeding is skipped and all VRFs
+	// run on this nonce.
+	GenesisNonce []byte
+	// Crashed makes the highest-indexed parties crash-faulty (≤ F).
+	Crashed int
+}
+
+func (c Config) spec() (exp.RunSpec, error) {
+	if c.N < 4 {
+		return exp.RunSpec{}, fmt.Errorf("repro: N=%d too small (need ≥ 4)", c.N)
+	}
+	f := c.F
+	if f <= 0 {
+		f = (c.N - 1) / 3
+	}
+	if c.Crashed > f {
+		return exp.RunSpec{}, fmt.Errorf("repro: %d crashed parties exceeds f=%d", c.Crashed, f)
+	}
+	return exp.RunSpec{N: c.N, F: f, Seed: c.Seed, Genesis: c.GenesisNonce, Crash: c.Crashed}, nil
+}
+
+// Stats reports a run's cost in the paper's three metrics (§3).
+type Stats struct {
+	Messages int64 // messages sent by honest parties
+	Bytes    int64 // wire-encoded bytes of those messages
+	Rounds   int   // asynchronous rounds (causal depth) to the last output
+}
+
+func stats(s exp.Stats) Stats {
+	return Stats{Messages: s.Msgs, Bytes: s.Bytes, Rounds: s.Rounds}
+}
+
+// CoinResult is the outcome of FlipCoin.
+type CoinResult struct {
+	Bit    byte // the (first honest party's) coin bit
+	Agreed bool // whether all honest parties saw the same bit (prob ≥ 1/3; near 1 benignly)
+	Stats  Stats
+}
+
+// FlipCoin runs one reasonably fair common coin (Alg. 4, Theorem 3).
+func FlipCoin(cfg Config) (CoinResult, error) {
+	spec, err := cfg.spec()
+	if err != nil {
+		return CoinResult{}, err
+	}
+	out, err := exp.RunCoin(spec)
+	if err != nil {
+		return CoinResult{}, err
+	}
+	return CoinResult{Bit: out.Bit, Agreed: out.Agreed, Stats: stats(out.Stats)}, nil
+}
+
+// ABAResult is the outcome of DecideBit.
+type ABAResult struct {
+	Bit    byte
+	Rounds float64 // mean protocol rounds to decision across honest parties
+	Stats  Stats
+}
+
+// DecideBit runs one asynchronous binary agreement driven by the paper's
+// coin (Theorem 4). inputs[i] is party i's bit; len(inputs) must be N.
+func DecideBit(cfg Config, inputs []byte) (ABAResult, error) {
+	spec, err := cfg.spec()
+	if err != nil {
+		return ABAResult{}, err
+	}
+	if len(inputs) != cfg.N {
+		return ABAResult{}, fmt.Errorf("repro: %d inputs for N=%d", len(inputs), cfg.N)
+	}
+	out, err := exp.RunABA(spec, inputs, exp.ABAPaperCoin)
+	if err != nil {
+		return ABAResult{}, err
+	}
+	if !out.Agreed {
+		return ABAResult{}, errors.New("repro: ABA agreement violated (bug)")
+	}
+	return ABAResult{Bit: out.Bit, Rounds: out.MeanRound, Stats: stats(out.Stats)}, nil
+}
+
+// ElectionResult is the outcome of ElectLeader.
+type ElectionResult struct {
+	Leader    int  // 0-based leader index, identical at all honest parties
+	ByDefault bool // true when the protocol fell back to the default leader
+	Stats     Stats
+}
+
+// ElectLeader runs one leader election with perfect agreement (Alg. 5,
+// Theorem 5).
+func ElectLeader(cfg Config) (ElectionResult, error) {
+	spec, err := cfg.spec()
+	if err != nil {
+		return ElectionResult{}, err
+	}
+	out, err := exp.RunElection(spec)
+	if err != nil {
+		return ElectionResult{}, err
+	}
+	if !out.Agreed {
+		return ElectionResult{}, errors.New("repro: election agreement violated (bug)")
+	}
+	return ElectionResult{Leader: out.Leader, ByDefault: out.ByDefault, Stats: stats(out.Stats)}, nil
+}
+
+// VBAResult is the outcome of Agree.
+type VBAResult struct {
+	Value []byte // the agreed, externally valid proposal
+	Stats Stats
+}
+
+// Agree runs one validated Byzantine agreement (Theorem 6): proposals[i]
+// is party i's input and valid is the external-validity predicate Q; the
+// decided value satisfies Q and was proposed by some party.
+func Agree(cfg Config, proposals [][]byte, valid func([]byte) bool) (VBAResult, error) {
+	spec, err := cfg.spec()
+	if err != nil {
+		return VBAResult{}, err
+	}
+	if len(proposals) != cfg.N {
+		return VBAResult{}, fmt.Errorf("repro: %d proposals for N=%d", len(proposals), cfg.N)
+	}
+	if valid == nil {
+		return VBAResult{}, errors.New("repro: nil validity predicate")
+	}
+	for i, p := range proposals {
+		if i >= cfg.N-cfg.Crashed && cfg.Crashed > 0 {
+			continue
+		}
+		if !valid(p) {
+			return VBAResult{}, fmt.Errorf("repro: proposal %d fails the predicate", i)
+		}
+	}
+	out, err := exp.RunVBA(spec, proposals, valid)
+	if err != nil {
+		return VBAResult{}, err
+	}
+	if !out.Agreed {
+		return VBAResult{}, errors.New("repro: VBA agreement violated (bug)")
+	}
+	return VBAResult{Value: out.Value, Stats: stats(out.Stats)}, nil
+}
+
+// DKGResult is the outcome of GenerateKey.
+type DKGResult struct {
+	Contributors int // distinct dealers aggregated into the key (≥ N−F)
+	Stats        Stats
+}
+
+// GenerateKey runs the asynchronous distributed key generation of §7.3:
+// all honest parties end with consistent threshold key material without
+// any trusted dealer.
+func GenerateKey(cfg Config) (DKGResult, error) {
+	spec, err := cfg.spec()
+	if err != nil {
+		return DKGResult{}, err
+	}
+	out, err := exp.RunADKG(spec)
+	if err != nil {
+		return DKGResult{}, err
+	}
+	if !out.KeysAgree {
+		return DKGResult{}, errors.New("repro: DKG produced inconsistent keys (bug)")
+	}
+	return DKGResult{Contributors: out.Contributors, Stats: stats(out.Stats)}, nil
+}
+
+// BeaconResult is the outcome of RunBeacon.
+type BeaconResult struct {
+	Values       [][16]byte // one unbiased 128-bit value per epoch
+	MeanAttempts float64    // Election instances per epoch (expected ≤ 3)
+	Stats        Stats
+}
+
+// RunBeacon runs the DKG-free asynchronous random beacon of §7.3 for the
+// given number of epochs.
+func RunBeacon(cfg Config, epochs int) (BeaconResult, error) {
+	spec, err := cfg.spec()
+	if err != nil {
+		return BeaconResult{}, err
+	}
+	if epochs < 1 {
+		return BeaconResult{}, fmt.Errorf("repro: epochs=%d", epochs)
+	}
+	out, err := exp.RunBeacon(spec, epochs)
+	if err != nil {
+		return BeaconResult{}, err
+	}
+	if !out.Agreed {
+		return BeaconResult{}, errors.New("repro: beacon values diverged (bug)")
+	}
+	res := BeaconResult{MeanAttempts: out.MeanAttempt, Stats: stats(out.Stats)}
+	for _, v := range out.Values {
+		res.Values = append(res.Values, [16]byte(v))
+	}
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFlipCoinFacade(t *testing.T) {
+	res, err := FlipCoin(Config{N: 4, Seed: 1, GenesisNonce: []byte("g")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Messages == 0 || res.Stats.Bytes == 0 || res.Stats.Rounds == 0 {
+		t.Fatalf("empty stats: %+v", res.Stats)
+	}
+}
+
+func TestDecideBitFacade(t *testing.T) {
+	res, err := DecideBit(Config{N: 4, Seed: 2, GenesisNonce: []byte("g")}, []byte{1, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bit > 1 {
+		t.Fatalf("bit = %d", res.Bit)
+	}
+}
+
+func TestElectLeaderFacade(t *testing.T) {
+	res, err := ElectLeader(Config{N: 4, Seed: 3, GenesisNonce: []byte("g")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leader < 0 || res.Leader >= 4 {
+		t.Fatalf("leader = %d", res.Leader)
+	}
+}
+
+func TestAgreeFacade(t *testing.T) {
+	valid := func(v []byte) bool { return bytes.HasPrefix(v, []byte("tx:")) }
+	props := [][]byte{[]byte("tx:a"), []byte("tx:b"), []byte("tx:c"), []byte("tx:d")}
+	res, err := Agree(Config{N: 4, Seed: 4, GenesisNonce: []byte("g")}, props, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valid(res.Value) {
+		t.Fatalf("decided %q", res.Value)
+	}
+}
+
+func TestGenerateKeyFacade(t *testing.T) {
+	res, err := GenerateKey(Config{N: 4, Seed: 5, GenesisNonce: []byte("g")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contributors < 3 {
+		t.Fatalf("contributors = %d", res.Contributors)
+	}
+}
+
+func TestRunBeaconFacade(t *testing.T) {
+	res, err := RunBeacon(Config{N: 4, Seed: 6, GenesisNonce: []byte("g")}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 1 || res.Values[0] == ([16]byte{}) {
+		t.Fatalf("values = %v", res.Values)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := FlipCoin(Config{N: 2}); err == nil {
+		t.Fatal("accepted N=2")
+	}
+	if _, err := DecideBit(Config{N: 4}, []byte{1}); err == nil {
+		t.Fatal("accepted short inputs")
+	}
+	if _, err := Agree(Config{N: 4}, make([][]byte, 4), nil); err == nil {
+		t.Fatal("accepted nil predicate")
+	}
+	if _, err := RunBeacon(Config{N: 4}, 0); err == nil {
+		t.Fatal("accepted zero epochs")
+	}
+	if _, err := FlipCoin(Config{N: 4, Crashed: 2}); err == nil {
+		t.Fatal("accepted crashes > f")
+	}
+}
+
+func TestCrashedPartiesTolerated(t *testing.T) {
+	res, err := ElectLeader(Config{N: 4, Seed: 7, Crashed: 1, GenesisNonce: []byte("g")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leader < 0 {
+		t.Fatal("bad leader")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	a, err := ElectLeader(Config{N: 4, Seed: 42, GenesisNonce: []byte("g")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ElectLeader(Config{N: 4, Seed: 42, GenesisNonce: []byte("g")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Leader != b.Leader || a.Stats != b.Stats {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSeededModeWorksThroughFacade(t *testing.T) {
+	// Without a genesis nonce the full Seeding layer runs.
+	res, err := FlipCoin(Config{N: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Bytes == 0 {
+		t.Fatal("no traffic")
+	}
+}
