@@ -1,284 +1,98 @@
-// Benchmarks regenerating the paper's quantitative artifacts, one bench per
-// table/figure row (see EXPERIMENTS.md). Each iteration performs one full
-// protocol execution on the deterministic simulator and reports the paper's
-// metrics (§3) as custom units:
+// Benchmarks regenerating the paper's quantitative artifacts, driven
+// through the experiment registry: every registered spec (Table 1 rows,
+// E1–E11, ablations, the adversarial-scheduler scenario suite) becomes one
+// sub-benchmark. Each iteration performs one full protocol execution on the
+// deterministic simulator and reports the paper's metrics (§3) as custom
+// units:
 //
 //	wire-B/op    communicated bytes among honest parties
 //	msgs/op      honest messages
 //	rounds/op    asynchronous rounds (causal depth)
 //
-// go test -bench=. -benchmem   (n is fixed per bench; cmd/benchtable sweeps n)
+// go test -bench=. -benchtime=1x        # one run per spec (CI smoke)
+// go test -bench=Registry/e1            # one Table 1 family
+// go test -bench=Matrix                 # the parallel engine itself
+//
+// cmd/benchtable sweeps n and aggregates trials; here each spec runs at its
+// smallest configured party count so the full registry stays fast.
 package repro
 
 import (
-	"fmt"
-	"strings"
 	"testing"
 
 	"repro/internal/exp"
 )
 
-const benchN = 7 // representative size; cmd/benchtable sweeps 4..13
-
-func report(b *testing.B, st exp.Stats) {
+func reportOutcome(b *testing.B, out exp.Outcome) {
 	b.Helper()
-	b.ReportMetric(float64(st.Bytes), "wire-B/op")
-	b.ReportMetric(float64(st.Msgs), "msgs/op")
-	b.ReportMetric(float64(st.Rounds), "rounds/op")
+	b.ReportMetric(float64(out.Stats.Bytes), "wire-B/op")
+	b.ReportMetric(float64(out.Stats.Msgs), "msgs/op")
+	b.ReportMetric(float64(out.Stats.Rounds), "rounds/op")
 }
 
-// BenchmarkTable1CoinPaper — Table 1 row "This paper", ABA/Coin column
-// (PKI-only setup, full Seeding).
-func BenchmarkTable1CoinPaper(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		out, err := exp.RunCoin(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = out.Stats
-	}
-	report(b, last)
-}
-
-// BenchmarkTable1CoinGenesis — Table 1 row "This paper", the adaptively
-// secure "PKI, 1-time rnd" variant (no Seeding).
-func BenchmarkTable1CoinGenesis(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		out, err := exp.RunCoin(exp.RunSpec{N: benchN, F: -1, Seed: int64(i), Genesis: []byte("bench")})
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = out.Stats
-	}
-	report(b, last)
-}
-
-// BenchmarkTable1CoinCKLS02 — Table 1 row "CKLS02" (O(λn⁴) shape).
-func BenchmarkTable1CoinCKLS02(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		st, err := exp.RunBaselineCoin(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)}, exp.BaselineCKLS02)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = st
-	}
-	report(b, last)
-}
-
-// BenchmarkTable1CoinAJM21 — Table 1 row "AJM+21" (O(λn³ log n) shape).
-func BenchmarkTable1CoinAJM21(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		st, err := exp.RunBaselineCoin(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)}, exp.BaselineAJM21)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = st
-	}
-	report(b, last)
-}
-
-// BenchmarkTable1CoinKMS20 — Table 1 row "KMS20": O(n)-round bootstrap,
-// then cheap per-coin evaluations; both phases are reported.
-func BenchmarkTable1CoinKMS20(b *testing.B) {
-	var last exp.KMS20Outcome
-	for i := 0; i < b.N; i++ {
-		out, err := exp.RunKMS20(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = out
-	}
-	b.ReportMetric(float64(last.Bootstrap.Bytes), "boot-wire-B/op")
-	b.ReportMetric(float64(last.Bootstrap.Rounds), "boot-rounds/op")
-	b.ReportMetric(float64(last.PerCoin.Bytes), "coin-wire-B/op")
-}
-
-// BenchmarkTable1CoinThreshold — the private-setup CKS00 threshold coin
-// (the foil that setup-free protocols replace).
-func BenchmarkTable1CoinThreshold(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		st, err := exp.RunBaselineCoin(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)}, exp.BaselineThresh)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = st
-	}
-	report(b, last)
-}
-
-// BenchmarkTable1ABA — Theorem 4: the full ABA under the paper's coin.
-func BenchmarkTable1ABA(b *testing.B) {
-	inputs := make([]byte, benchN)
-	for i := range inputs {
-		inputs[i] = byte(i % 2)
-	}
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		out, err := exp.RunABA(exp.RunSpec{N: benchN, F: -1, Seed: int64(i), Genesis: []byte("bench")},
-			inputs, exp.ABAPaperCoin)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = out.Stats
-	}
-	report(b, last)
-}
-
-// BenchmarkTable1Election — Theorem 5: leader election with agreement.
-func BenchmarkTable1Election(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		out, err := exp.RunElection(exp.RunSpec{N: benchN, F: -1, Seed: int64(i), Genesis: []byte("bench")})
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = out.Stats
-	}
-	report(b, last)
-}
-
-// BenchmarkTable1VBA — Theorem 6: validated BA with the paper's Election.
-func BenchmarkTable1VBA(b *testing.B) {
-	props := make([][]byte, benchN)
-	for i := range props {
-		props[i] = []byte(fmt.Sprintf("ok:p%d", i))
-	}
-	valid := func(v []byte) bool { return strings.HasPrefix(string(v), "ok:") }
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		out, err := exp.RunVBA(exp.RunSpec{N: benchN, F: -1, Seed: int64(i), Genesis: []byte("bench")}, props, valid)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = out.Stats
-	}
-	report(b, last)
-}
-
-// BenchmarkFig2CoinPhases — Figure 2's pipeline: per-phase byte shares of
-// one coin flip.
-func BenchmarkFig2CoinPhases(b *testing.B) {
-	var last exp.CoinOutcome
-	for i := 0; i < b.N; i++ {
-		out, err := exp.RunCoin(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = out
-	}
-	for _, ph := range []string{"seeding", "avss", "wcs", "recreq", "candidate"} {
-		b.ReportMetric(float64(last.PerPhase[ph].Bytes), ph+"-B/op")
+// BenchmarkRegistry runs every registered spec as a sub-benchmark, at the
+// spec's smallest party count, one fresh seeded cluster per iteration.
+func BenchmarkRegistry(b *testing.B) {
+	for _, name := range exp.Names() {
+		spec, _ := exp.Lookup(name)
+		b.Run(name, func(b *testing.B) {
+			var last exp.Outcome
+			for i := 0; i < b.N; i++ {
+				out, err := exp.RunNamed(name, spec.Ns[0], i, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = out
+			}
+			reportOutcome(b, last)
+		})
 	}
 }
 
-// BenchmarkADKG — §7.3 application: asynchronous DKG end to end (E7).
-func BenchmarkADKG(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		out, err := exp.RunADKG(exp.RunSpec{N: benchN, F: -1, Seed: int64(i), Genesis: []byte("bench")})
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = out.Stats
+// BenchmarkRegistryAtScale re-runs the Table 1 rows at the sweep's largest
+// size, where the Θ(n³) vs Θ(n⁴) separation is visible in wire-B/op.
+func BenchmarkRegistryAtScale(b *testing.B) {
+	specs, err := exp.Select("table1")
+	if err != nil {
+		b.Fatal(err)
 	}
-	report(b, last)
+	for _, spec := range specs {
+		n := spec.Ns[len(spec.Ns)-1]
+		b.Run(spec.Name, func(b *testing.B) {
+			var last exp.Outcome
+			for i := 0; i < b.N; i++ {
+				out, err := exp.RunNamed(spec.Name, n, i, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = out
+			}
+			reportOutcome(b, last)
+		})
+	}
 }
 
-// BenchmarkBeacon — §7.3 application: one DKG-free beacon epoch (E8).
-func BenchmarkBeacon(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		out, err := exp.RunBeacon(exp.RunSpec{N: 4, F: -1, Seed: int64(i), Genesis: []byte("bench")}, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = out.Stats
+// BenchmarkMatrixEngine measures the engine itself: one full Table 1 matrix
+// at small n per iteration, serial versus one worker per core — the
+// wall-clock ratio on a multicore box is the engine's speedup.
+func BenchmarkMatrixEngine(b *testing.B) {
+	specs, err := exp.Select("e2,e9,e11")
+	if err != nil {
+		b.Fatal(err)
 	}
-	report(b, last)
-}
-
-// BenchmarkAVSS — §5.1: one sharing of a λ-bit secret (E9).
-func BenchmarkAVSS(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		st, err := exp.RunAVSS(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)}, 32)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = st
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"percore", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := exp.RunMatrix(specs, exp.MatrixOptions{
+					Ns: []int{4, 7}, Trials: 2, BaseSeed: int64(i), Workers: bc.workers,
+				})
+				if errs := m.CellErrors(); len(errs) > 0 {
+					b.Fatal(errs)
+				}
+			}
+		})
 	}
-	report(b, last)
-}
-
-// BenchmarkWCS — §5.2: one weak core-set selection (E10).
-func BenchmarkWCS(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		st, err := exp.RunWCS(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = st
-	}
-	report(b, last)
-}
-
-// BenchmarkSeeding — Lemma 8: one reliable broadcasted seeding (E11).
-func BenchmarkSeeding(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		st, err := exp.RunSeeding(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = st
-	}
-	report(b, last)
-}
-
-// BenchmarkAblationWCS / BenchmarkAblationRBCGather — the §5.2 design
-// ablation: WCS's two multicast rounds versus the classical reliable-
-// broadcast core-set gather it replaces.
-func BenchmarkAblationWCS(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		st, err := exp.RunWCS(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = st
-	}
-	report(b, last)
-}
-
-func BenchmarkAblationRBCGather(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		st, err := exp.RunRBCGather(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = st
-	}
-	report(b, last)
-}
-
-// BenchmarkAblationAVSSPayload — AVSS cost versus secret size: the paper
-// assumes O(λ)-bit secrets (§5.1 footnote); an O(λn)-bit payload pushes the
-// Bracha tail to O(λn³), which is exactly the CKLS02 cost driver.
-func BenchmarkAblationAVSSPayloadWide(b *testing.B) {
-	var last exp.Stats
-	for i := 0; i < b.N; i++ {
-		st, err := exp.RunAVSS(exp.RunSpec{N: benchN, F: -1, Seed: int64(i)}, 32*benchN)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = st
-	}
-	report(b, last)
 }

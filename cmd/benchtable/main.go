@@ -1,65 +1,103 @@
 // Command benchtable regenerates the paper's quantitative artifacts — the
-// Table 1 comparison and the derived experiments E1–E11 indexed in
-// DESIGN.md/EXPERIMENTS.md — on the deterministic network simulator.
+// Table 1 comparison and the derived experiments E1–E11 plus the
+// adversarial-scheduler scenario suite — through the registry-driven
+// parallel matrix engine in internal/exp.
 //
 // Usage:
 //
-//	go run ./cmd/benchtable -exp e1            # Table 1, coin/ABA column
-//	go run ./cmd/benchtable -exp e2 -n 4,7     # Table 1, Election/VBA column
-//	go run ./cmd/benchtable -exp all           # everything (minutes)
+//	go run ./cmd/benchtable -exp table1                  # Table 1 rows
+//	go run ./cmd/benchtable -exp e1,e2 -n 4,7            # explicit sweep
+//	go run ./cmd/benchtable -exp all -parallel           # everything, one worker per core
+//	go run ./cmd/benchtable -exp adv -sched lifo         # scenario suite under an override adversary
+//	go run ./cmd/benchtable -exp table1 -json -parallel  # machine-readable artifact on stdout
+//	go run ./cmd/benchtable -exp table1 -json -out BENCH_table1.json
 //
-// Growth exponents are least-squares fits of log(bytes) against log(n); the
+// Selectors name specs ("e1/coin-pki"), groups ("e1".."e11", "ablation",
+// "adv") or tags ("table1", "sched"); "all" selects everything. Growth
+// exponents are least-squares fits of log(mean bytes) against log(n); the
 // paper's claims are Θ(λn³) for the new protocols, Θ(λn⁴) for CKLS02-shape,
 // Θ(λn³ log n) for AJM+21-shape and Θ(λn²) for the threshold-setup coin.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/exp"
-	"repro/internal/sim"
 )
 
 func main() {
-	expFlag := flag.String("exp", "e1", "experiment id (e1..e11, table1, all)")
-	nFlag := flag.String("n", "4,7,10,13", "comma-separated party counts")
-	seed := flag.Int64("seed", 1, "base seed")
-	trials := flag.Int("trials", 20, "trials for the statistical experiments (e4–e6)")
+	expFlag := flag.String("exp", "table1", "spec/group/tag selector, comma-separated (e.g. table1, e1..e11, adv, all)")
+	nFlag := flag.String("n", "", "comma-separated party counts overriding each spec's sweep")
+	seed := flag.Int64("seed", 1, "base seed (every cell derives its own via TrialSeed)")
+	trials := flag.Int("trials", 0, "trials per (spec, n); 0 = spec default")
+	schedFlag := flag.String("sched", "", "override adversary: random|fifo|lifo|delay|partition|targeted:<inst-prefix>")
+	parallel := flag.Bool("parallel", false, "fan runs out over one worker per CPU core")
+	workers := flag.Int("workers", 0, "explicit worker-pool size (overrides -parallel)")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable matrix document on stdout")
+	outPath := flag.String("out", "", "also write the matrix document to this file")
+	steps := flag.Int64("steps", 0, "per-run delivery budget; 0 = generous default")
 	flag.Parse()
 
-	ns, err := parseNs(*nFlag)
+	specs, err := exp.Select(*expFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
-
-	run := func(id string, fn func()) {
-		switch strings.ToLower(*expFlag) {
-		case id, "all":
-			fn()
-		case "table1":
-			if id == "e1" || id == "e2" {
-				fn()
-			}
+	opt := exp.MatrixOptions{BaseSeed: *seed, Trials: *trials, Steps: *steps}
+	if *nFlag != "" {
+		if opt.Ns, err = parseNs(*nFlag); err != nil {
+			fatal(err)
 		}
 	}
-	run("e1", func() { e1(ns, *seed) })
-	run("e2", func() { e2(ns, *seed) })
-	run("e3", func() { e3(*seed) })
-	run("e4", func() { e4(*seed, *trials) })
-	run("e5", func() { e5(*seed, *trials) })
-	run("e6", func() { e6(*seed, *trials) })
-	run("e7", func() { e7(ns, *seed) })
-	run("e8", func() { e8(*seed) })
-	run("e9", func() { e9(ns, *seed) })
-	run("e10", func() { e10(ns, *seed) })
-	run("e11", func() { e11(ns, *seed) })
+	switch {
+	case *workers > 0:
+		opt.Workers = *workers
+	case *parallel:
+		opt.Workers = 0 // engine default: runtime.NumCPU()
+	default:
+		opt.Workers = 1
+	}
+	if *schedFlag != "" {
+		if opt.Sched, err = exp.NamedSched(*schedFlag); err != nil {
+			fatal(err)
+		}
+		opt.SchedName = *schedFlag
+	}
+
+	m := exp.RunMatrix(specs, opt)
+	m.Selector = *expFlag
+
+	doc, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	doc = append(doc, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, doc, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut {
+		os.Stdout.Write(doc)
+	} else {
+		printHuman(m)
+	}
+	if errs := m.CellErrors(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "cell error:", e)
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtable:", err)
+	os.Exit(2)
 }
 
 func parseNs(s string) ([]int, error) {
@@ -75,45 +113,134 @@ func parseNs(s string) ([]int, error) {
 	return ns, nil
 }
 
-// fitExponent least-squares fits log(y) = a + b·log(n) and returns b.
-func fitExponent(ns []int, ys []float64) float64 {
-	var sx, sy, sxx, sxy float64
-	k := float64(len(ns))
-	for i := range ns {
-		x := math.Log(float64(ns[i]))
-		y := math.Log(ys[i])
-		sx += x
-		sy += y
-		sxx += x * x
-		sxy += x * y
+// groupLess orders experiment groups the way a reader expects: e-numbered
+// groups numerically (e1 < e2 < … < e10 < e11), everything else after,
+// alphabetically.
+func groupLess(a, b string) bool {
+	na, ea := groupNum(a)
+	nb, eb := groupNum(b)
+	switch {
+	case ea && eb:
+		return na < nb
+	case ea != eb:
+		return ea
+	default:
+		return a < b
 	}
-	return (k*sxy - sx*sy) / (k*sxx - sx*sx)
 }
 
-type row struct {
-	name   string
-	bytes  []float64
-	rounds []int
+func groupNum(g string) (int, bool) {
+	if len(g) < 2 || g[0] != 'e' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(g[1:])
+	return n, err == nil
 }
 
-func printTable(title string, ns []int, rows []row) {
-	fmt.Printf("\n== %s ==\n", title)
-	fmt.Printf("%-28s", "protocol")
-	for _, n := range ns {
-		fmt.Printf("  %12s", fmt.Sprintf("n=%d", n))
-	}
-	fmt.Printf("  %8s  %s\n", "fit n^b", "rounds@max-n")
-	for _, r := range rows {
-		fmt.Printf("%-28s", r.name)
-		for _, b := range r.bytes {
-			fmt.Printf("  %12s", humanBytes(b))
+// printHuman renders the matrix as the familiar per-group tables: one row
+// per spec, one column per n, mean bytes per cell, plus the fitted growth
+// exponent and notable extras.
+func printHuman(m exp.Matrix) {
+	byGroup := map[string][]exp.SpecReport{}
+	var groups []string
+	for _, s := range m.Specs {
+		if _, seen := byGroup[s.Group]; !seen {
+			groups = append(groups, s.Group)
 		}
-		fit := math.NaN()
-		if len(ns) >= 2 {
-			fit = fitExponent(ns, r.bytes)
-		}
-		fmt.Printf("  %8.2f  %d\n", fit, r.rounds[len(r.rounds)-1])
+		byGroup[s.Group] = append(byGroup[s.Group], s)
 	}
+	sort.Slice(groups, func(i, j int) bool { return groupLess(groups[i], groups[j]) })
+	for _, g := range groups {
+		specs := byGroup[g]
+		ns := unionNs(specs)
+		fmt.Printf("\n== %s ==\n", g)
+		fmt.Printf("%-34s", "spec")
+		for _, n := range ns {
+			fmt.Printf("  %12s", fmt.Sprintf("n=%d", n))
+		}
+		fmt.Printf("  %8s  %12s  %s\n", "fit n^b", "rounds@max-n", "claim")
+		for _, s := range specs {
+			fmt.Printf("%-34s", s.Title)
+			cells := map[int]exp.Cell{}
+			for _, c := range s.Cells {
+				cells[c.N] = c
+			}
+			for _, n := range ns {
+				c, ok := cells[n]
+				switch {
+				case !ok:
+					fmt.Printf("  %12s", "—")
+				case len(c.Errors) == c.Trials:
+					fmt.Printf("  %12s", "ERR")
+				default:
+					fmt.Printf("  %12s", humanBytes(c.Bytes.Mean))
+				}
+			}
+			// rounds@max-n reports the spec's own largest size — "—" when
+			// that cell errored out, never a smaller size's value.
+			rounds := "—"
+			if last := s.Cells[len(s.Cells)-1]; len(last.Errors) < last.Trials {
+				rounds = fmt.Sprintf("%.1f", last.Rounds.Mean)
+			}
+			fmt.Printf("  %8.2f  %12s  %s\n", s.BytesExp, rounds, s.Claim)
+			printExtras(s)
+		}
+	}
+	fmt.Println()
+}
+
+// printExtras surfaces scenario-quality aggregates (agreement rates, ABA
+// rounds, election attempts, coin phase shares) under the spec's table row.
+func printExtras(s exp.SpecReport) {
+	last := s.Cells[len(s.Cells)-1]
+	if len(last.Extra) == 0 {
+		return
+	}
+	var parts []string
+	if d, ok := last.Extra["agreed"]; ok {
+		parts = append(parts, fmt.Sprintf("agreement %.0f%%", 100*d.Mean))
+	}
+	if d, ok := last.Extra["mean-round"]; ok {
+		parts = append(parts, fmt.Sprintf("ABA rounds mean %.2f (p95 %.1f)", d.Mean, d.P95))
+	}
+	if d, ok := last.Extra["mean-attempts"]; ok {
+		parts = append(parts, fmt.Sprintf("election attempts/epoch %.2f", d.Mean))
+	}
+	if d, ok := last.Extra["by-default"]; ok {
+		parts = append(parts, fmt.Sprintf("default-leader fallbacks %.0f%%", 100*d.Mean))
+	}
+	if len(parts) > 0 {
+		fmt.Printf("%-34s    · %s\n", "", strings.Join(parts, ", "))
+	}
+	var phases []string
+	for k := range last.Extra {
+		if strings.HasPrefix(k, "phase-bytes/") {
+			phases = append(phases, k)
+		}
+	}
+	if len(phases) > 0 {
+		sort.Strings(phases)
+		var ph []string
+		for _, k := range phases {
+			ph = append(ph, fmt.Sprintf("%s %s", strings.TrimPrefix(k, "phase-bytes/"), humanBytes(last.Extra[k].Mean)))
+		}
+		fmt.Printf("%-34s    · phases: %s\n", "", strings.Join(ph, ", "))
+	}
+}
+
+func unionNs(specs []exp.SpecReport) []int {
+	seen := map[int]bool{}
+	var ns []int
+	for _, s := range specs {
+		for _, c := range s.Cells {
+			if !seen[c.N] {
+				seen[c.N] = true
+				ns = append(ns, c.N)
+			}
+		}
+	}
+	sort.Ints(ns)
+	return ns
 }
 
 func humanBytes(b float64) string {
@@ -125,221 +252,4 @@ func humanBytes(b float64) string {
 	default:
 		return fmt.Sprintf("%.0f B", b)
 	}
-}
-
-func must[T any](v T, err error) T {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
-	}
-	return v
-}
-
-// e1 — Table 1, ABA/Coin column: one coin flip per protocol family.
-func e1(ns []int, seed int64) {
-	rows := []row{
-		{name: "this paper (Coin, PKI)"},
-		{name: "this paper (Coin, 1-time rnd)"},
-		{name: "CKLS02-shape"},
-		{name: "AJM+21-shape"},
-		{name: "KMS20-shape bootstrap"},
-		{name: "KMS20-shape per-coin"},
-		{name: "CKS00 threshold (private!)"},
-	}
-	for _, n := range ns {
-		spec := exp.RunSpec{N: n, F: -1, Seed: seed}
-		c := must(exp.RunCoin(spec))
-		rows[0].bytes = append(rows[0].bytes, float64(c.Stats.Bytes))
-		rows[0].rounds = append(rows[0].rounds, c.Stats.Rounds)
-		gspec := spec
-		gspec.Genesis = []byte("benchtable")
-		g := must(exp.RunCoin(gspec))
-		rows[1].bytes = append(rows[1].bytes, float64(g.Stats.Bytes))
-		rows[1].rounds = append(rows[1].rounds, g.Stats.Rounds)
-		ck := must(exp.RunBaselineCoin(spec, exp.BaselineCKLS02))
-		rows[2].bytes = append(rows[2].bytes, float64(ck.Bytes))
-		rows[2].rounds = append(rows[2].rounds, ck.Rounds)
-		aj := must(exp.RunBaselineCoin(spec, exp.BaselineAJM21))
-		rows[3].bytes = append(rows[3].bytes, float64(aj.Bytes))
-		rows[3].rounds = append(rows[3].rounds, aj.Rounds)
-		km := must(exp.RunKMS20(spec))
-		rows[4].bytes = append(rows[4].bytes, float64(km.Bootstrap.Bytes))
-		rows[4].rounds = append(rows[4].rounds, km.Bootstrap.Rounds)
-		rows[5].bytes = append(rows[5].bytes, float64(km.PerCoin.Bytes))
-		rows[5].rounds = append(rows[5].rounds, km.PerCoin.Rounds)
-		th := must(exp.RunBaselineCoin(spec, exp.BaselineThresh))
-		rows[6].bytes = append(rows[6].bytes, float64(th.Bytes))
-		rows[6].rounds = append(rows[6].rounds, th.Rounds)
-	}
-	printTable("E1 / Table 1 — common coin, communicated bytes per flip", ns, rows)
-	fmt.Println("paper claims: this-paper Θ(n³); CKLS02 Θ(n⁴); AJM+21 Θ(n³·log n);")
-	fmt.Println("              KMS20 Θ(n)-round bootstrap then Θ(n²) per coin; threshold setup Θ(n²).")
-}
-
-// e2 — Table 1, VBA/Election column.
-func e2(ns []int, seed int64) {
-	rows := []row{{name: "Election (this paper)"}, {name: "VBA (this paper)"}}
-	for _, n := range ns {
-		spec := exp.RunSpec{N: n, F: -1, Seed: seed}
-		el := must(exp.RunElection(spec))
-		rows[0].bytes = append(rows[0].bytes, float64(el.Stats.Bytes))
-		rows[0].rounds = append(rows[0].rounds, el.Stats.Rounds)
-		props := make([][]byte, n)
-		for i := range props {
-			props[i] = []byte(fmt.Sprintf("ok:p%d", i))
-		}
-		vb := must(exp.RunVBA(spec, props, func(v []byte) bool { return strings.HasPrefix(string(v), "ok:") }))
-		rows[1].bytes = append(rows[1].bytes, float64(vb.Stats.Bytes))
-		rows[1].rounds = append(rows[1].rounds, vb.Stats.Rounds)
-	}
-	printTable("E2 / Table 1 — Election and VBA, communicated bytes", ns, rows)
-	fmt.Println("paper claims: expected Θ(λn³) bits and Θ(1) rounds for both.")
-}
-
-// e3 — Fig 2: the coin's phase pipeline.
-func e3(seed int64) {
-	const n = 7
-	c := must(exp.RunCoin(exp.RunSpec{N: n, F: -1, Seed: seed}))
-	fmt.Printf("\n== E3 / Fig 2 — Coin phase breakdown at n=%d ==\n", n)
-	total := float64(c.Stats.Bytes)
-	order := []string{"seeding", "avss", "wcs", "recreq", "candidate"}
-	for _, ph := range order {
-		t := c.PerPhase[ph]
-		fmt.Printf("  %-10s %10d msgs  %12s  (%.1f%% of bytes)\n",
-			ph, t.Msgs, humanBytes(float64(t.Bytes)), 100*float64(t.Bytes)/total)
-	}
-	fmt.Printf("  %-10s %10d msgs  %12s\n", "total", c.Stats.Msgs, humanBytes(total))
-}
-
-// e4 — Thm 3: empirical coin agreement rate and bit balance.
-func e4(seed int64, trials int) {
-	fmt.Printf("\n== E4 / Theorem 3 — coin agreement rate over %d runs ==\n", trials)
-	for _, sched := range []struct {
-		name string
-		mk   func(tr int64) sim.Scheduler
-	}{
-		{"random schedule", func(int64) sim.Scheduler { return nil }},
-		{"delay-2-parties", func(int64) sim.Scheduler {
-			return sim.DelayScheduler{Slow: map[int]bool{0: true, 1: true}, Bias: 0.8}
-		}},
-	} {
-		agree, ones := 0, 0
-		for tr := 0; tr < trials; tr++ {
-			c := must(exp.RunCoin(exp.RunSpec{N: 4, F: -1, Seed: seed + int64(tr)*97, Sched: sched.mk(int64(tr))}))
-			if c.Agreed {
-				agree++
-				ones += int(c.Bit)
-			}
-		}
-		fmt.Printf("  %-16s agreement %d/%d (α bound: ≥ 1/3), ones among agreed: %d/%d\n",
-			sched.name, agree, trials, ones, agree)
-	}
-}
-
-// e5 — Thm 5: election agreement + leader spread.
-func e5(seed int64, trials int) {
-	fmt.Printf("\n== E5 / Theorem 5 — election over %d runs (n=4) ==\n", trials)
-	leaders := map[int]int{}
-	defaults := 0
-	for tr := 0; tr < trials; tr++ {
-		el := must(exp.RunElection(exp.RunSpec{N: 4, F: -1, Seed: seed + int64(tr)*131, Genesis: []byte("e5")}))
-		if !el.Agreed {
-			fmt.Println("  AGREEMENT VIOLATION — bug")
-			return
-		}
-		leaders[el.Leader]++
-		if el.ByDefault {
-			defaults++
-		}
-	}
-	fmt.Printf("  agreement: %d/%d (must be all)\n", trials, trials)
-	fmt.Printf("  default fallbacks: %d/%d (paper: ≤ 1−α = 2/3 of runs)\n", defaults, trials)
-	fmt.Printf("  leader histogram: %v\n", leaders)
-}
-
-// e6 — Thm 4: ABA rounds-to-decide distribution by coin type.
-func e6(seed int64, trials int) {
-	fmt.Printf("\n== E6 / Theorem 4 — ABA rounds to decide over %d runs (n=4, split inputs) ==\n", trials)
-	kinds := []struct {
-		name string
-		k    exp.ABACoinKind
-	}{
-		{"paper coin", exp.ABAPaperCoin},
-		{"perfect test coin", exp.ABATestCoin},
-		{"threshold coin (setup)", exp.ABAThreshCoin},
-		{"local coin (Ben-Or)", exp.ABALocalCoin},
-	}
-	for _, kind := range kinds {
-		total, maxR := 0.0, 0
-		for tr := 0; tr < trials; tr++ {
-			out := must(exp.RunABA(exp.RunSpec{N: 4, F: -1, Seed: seed + int64(tr)*17, Genesis: []byte("e6")},
-				[]byte{0, 1, 0, 1}, kind.k))
-			total += out.MeanRound
-			if out.MaxRound > maxR {
-				maxR = out.MaxRound
-			}
-		}
-		fmt.Printf("  %-24s mean rounds %.2f, max %d\n", kind.name, total/float64(trials), maxR)
-	}
-	fmt.Println("paper: expected O(1) rounds with the (n,f,2f+1,1/3)-coin; local coin degrades.")
-}
-
-// e7 — §7.3: ADKG scaling.
-func e7(ns []int, seed int64) {
-	rows := []row{{name: "ADKG (this paper's VBA)"}}
-	for _, n := range ns {
-		out := must(exp.RunADKG(exp.RunSpec{N: n, F: -1, Seed: seed, Genesis: []byte("e7")}))
-		rows[0].bytes = append(rows[0].bytes, float64(out.Stats.Bytes))
-		rows[0].rounds = append(rows[0].rounds, out.Stats.Rounds)
-	}
-	printTable("E7 / §7.3 — ADKG communicated bytes", ns, rows)
-	fmt.Println("paper claims: Θ(λn³) (vs AJM+21's Θ(λn³ log n)).")
-}
-
-// e8 — §7.3: beacon throughput and per-epoch cost.
-func e8(seed int64) {
-	const n, epochs = 4, 3
-	out := must(exp.RunBeacon(exp.RunSpec{N: n, F: -1, Seed: seed, Genesis: []byte("e8")}, epochs))
-	fmt.Printf("\n== E8 / §7.3 — DKG-free beacon, n=%d, %d epochs ==\n", n, epochs)
-	fmt.Printf("  per-epoch bytes ≈ %s, mean Election attempts %.2f (expected ≤ 1/α = 3)\n",
-		humanBytes(float64(out.Stats.Bytes)/epochs), out.MeanAttempt)
-	th := must(exp.RunBaselineCoin(exp.RunSpec{N: n, F: -1, Seed: seed}, exp.BaselineThresh))
-	fmt.Printf("  threshold-setup beacon epoch (CKS00 coin): %s — cheaper, but needs a trusted dealer/DKG\n",
-		humanBytes(float64(th.Bytes)))
-}
-
-// e9 — §5.1: AVSS scaling.
-func e9(ns []int, seed int64) {
-	rows := []row{{name: "AVSS (λ-bit secret)"}}
-	for _, n := range ns {
-		st := must(exp.RunAVSS(exp.RunSpec{N: n, F: -1, Seed: seed}, 32))
-		rows[0].bytes = append(rows[0].bytes, float64(st.Bytes))
-		rows[0].rounds = append(rows[0].rounds, st.Rounds)
-	}
-	printTable("E9 / §5.1 — AVSS sharing phase", ns, rows)
-	fmt.Println("paper claims: Θ(λn²) bits, constant rounds.")
-}
-
-// e10 — §5.2: WCS scaling.
-func e10(ns []int, seed int64) {
-	rows := []row{{name: "WCS"}}
-	for _, n := range ns {
-		st := must(exp.RunWCS(exp.RunSpec{N: n, F: -1, Seed: seed}))
-		rows[0].bytes = append(rows[0].bytes, float64(st.Bytes))
-		rows[0].rounds = append(rows[0].rounds, st.Rounds)
-	}
-	printTable("E10 / §5.2 — weak core-set selection", ns, rows)
-	fmt.Println("paper claims: Θ(λn³) bits, exactly 3 rounds (Lock/Confirm/Commit).")
-}
-
-// e11 — Lemma 8: Seeding scaling.
-func e11(ns []int, seed int64) {
-	rows := []row{{name: "Seeding"}}
-	for _, n := range ns {
-		st := must(exp.RunSeeding(exp.RunSpec{N: n, F: -1, Seed: seed}))
-		rows[0].bytes = append(rows[0].bytes, float64(st.Bytes))
-		rows[0].rounds = append(rows[0].rounds, st.Rounds)
-	}
-	printTable("E11 / Lemma 8 — reliable broadcasted seeding", ns, rows)
-	fmt.Println("paper claims: Θ(λn²) bits, constant rounds.")
 }

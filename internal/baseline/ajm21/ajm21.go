@@ -11,7 +11,7 @@
 // Everything the paper improves is visible here: committing O(λn) bits per
 // party through a broadcast channel costs Θ(λn² log n) each (Merkle
 // branches on n² chunk echoes), totalling Θ(λn³ log n) — versus the paper's
-// AVSS+WCS route at Θ(λn³). See DESIGN.md §2 item 4 for facsimile scope.
+// AVSS+WCS route at Θ(λn³). See README.md for facsimile scope.
 package ajm21
 
 import (

@@ -12,7 +12,7 @@
 //
 // The facsimile reproduces the asymptotic drivers (who broadcasts what, of
 // which size, via which primitive), not the original's exact vote logic;
-// see DESIGN.md §2 item 4.
+// see README.md (facsimile scope).
 package ckls02
 
 import (

@@ -14,9 +14,9 @@
 // Per-coin: BLS-style share reveal under the aggregate key (as in
 // threshcoin, but with the DKG'd key). Share verification against Pedersen
 // commitments is omitted — the facsimile is an honest-execution cost model,
-// not a hardened implementation (DESIGN.md §2 item 4). The original's
+// not a hardened implementation (see README.md, facsimile scope). The original's
 // bootstrap is Θ(λn⁴) bits with its high-threshold AVSS; ours inherits the
-// paper's cheaper AVSS, so EXPERIMENTS.md reports the measured (smaller)
+// paper's cheaper AVSS, so the benchmarks report the measured (smaller)
 // constant alongside the preserved Θ(n)-round shape.
 package kms20
 

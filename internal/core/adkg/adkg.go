@@ -13,7 +13,7 @@
 // The resulting key material is group-element based (shares ĥ1^{F(ω_i)},
 // group public key g1^{F(0)}), as in Gurkan et al.'s aggregatable DKG; the
 // per-share threshold-VUF proofs of that work are outside this
-// reproduction's scope (see DESIGN.md §2 on the simulated pairing), so
+// reproduction's scope (see README.md on the simulated pairing), so
 // threshold evaluations verify the combined output against the script
 // rather than individual shares.
 package adkg

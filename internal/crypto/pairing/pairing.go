@@ -20,7 +20,8 @@
 //
 // Discrete logs are trivially extractable, so the simulation provides zero
 // secrecy against an adversary inspecting memory. Swapping in a real pairing
-// library is a drop-in replacement of this package. See DESIGN.md §2.
+// library is a drop-in replacement of this package. See README.md
+// (simulated-crypto scope).
 package pairing
 
 import (

@@ -1,5 +1,5 @@
 // Integration tests over the experiment runners: each test is a scaled-down
-// version of an EXPERIMENTS.md entry, asserting the paper's qualitative
+// version of a registry experiment (see README.md), asserting the paper's qualitative
 // claims end to end (full stack, fresh cluster per run).
 package exp
 
@@ -233,7 +233,7 @@ func TestCrashToleranceAcrossStack(t *testing.T) {
 	}
 }
 
-// TestAblationWCSBeatsRBCGather (DESIGN.md ablation): the weak core-set
+// TestAblationWCSBeatsRBCGather (the §5.2 design ablation): the weak core-set
 // selection costs fewer rounds than the classical n-RBC gather it replaces,
 // and its byte advantage grows with n.
 func TestAblationWCSBeatsRBCGather(t *testing.T) {

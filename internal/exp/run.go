@@ -1,9 +1,11 @@
-// Package exp contains the experiment runners behind EXPERIMENTS.md: each
-// Run* function builds a fresh keyed cluster, executes one protocol to
-// completion, and reports the paper's three metrics (§3) plus
-// outcome-quality fields (agreement, fairness, rounds-to-decide). It is
-// shared by cmd/benchtable, the root testing.B benchmarks, and the
-// integration test suite.
+// Package exp contains the experiment layer: the per-protocol Run*
+// functions (each builds a fresh keyed cluster, executes one protocol to
+// completion, and reports the paper's three metrics of §3 plus
+// outcome-quality fields), the named-Spec registry indexing every
+// experiment E1–E11 with its baselines and adversarial scenarios, and the
+// parallel matrix engine that sweeps specs over party counts and seeded
+// trials. It is shared by cmd/benchtable, the root testing.B benchmarks,
+// and the integration test suite; see README.md for the experiment index.
 package exp
 
 import (
@@ -46,10 +48,11 @@ type RunSpec struct {
 	N       int
 	F       int // negative = ⌊(n−1)/3⌋
 	Seed    int64
-	Genesis []byte        // non-nil → adaptive variant (skip Seeding)
-	Sched   sim.Scheduler // nil = random
-	Crash   int           // crash the top `Crash` parties
-	Steps   int64         // delivery budget; 0 = generous default
+	Genesis []byte               // non-nil → adaptive variant (skip Seeding)
+	Sched   sim.Scheduler        // nil = random
+	Crash   int                  // crash `Crash` parties (see CrashWhere)
+	Where   harness.CrashProfile // which parties crash; "" = last
+	Steps   int64                // delivery budget; 0 = generous default
 }
 
 func (r RunSpec) steps() int64 {
@@ -64,10 +67,7 @@ func (r RunSpec) cluster() (*harness.Cluster, error) {
 	if f < 0 {
 		f = (r.N - 1) / 3
 	}
-	byz := map[int]bool{}
-	for i := r.N - r.Crash; i < r.N; i++ {
-		byz[i] = true
-	}
+	byz := harness.Crashed(r.Where, r.N, r.Crash, r.Seed)
 	return harness.NewCluster(r.N, f, r.Seed, harness.Options{Scheduler: r.Sched, Byzantine: byz, Crash: true})
 }
 

@@ -1,0 +1,125 @@
+// Scenario tests for the adversarial-scheduler suite at the protocol level:
+// the paper's liveness and agreement guarantees must survive partitions,
+// worst-case reordering and targeted sub-protocol starvation, and every
+// scheduled run must replay bit-for-bit under a fixed seed.
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestPartitionThenHealCoinLiveness: isolating f parties for a bounded
+// window must not cost coin termination, and the healed run still agrees
+// with probability ≥ α (empirically: most trials).
+func TestPartitionThenHealCoinLiveness(t *testing.T) {
+	agree := 0
+	const trials = 4
+	for tr := 0; tr < trials; tr++ {
+		out, err := RunCoin(RunSpec{
+			N: 4, F: -1, Seed: int64(100 + tr*53),
+			Sched: sim.NewPartition(map[int]bool{3: true}, 240, nil),
+			Steps: 5_000_000,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", tr, err)
+		}
+		if out.Agreed {
+			agree++
+		}
+	}
+	if agree*3 < trials {
+		t.Fatalf("agreement %d/%d below α = 1/3 after partition heal", agree, trials)
+	}
+}
+
+// TestPartitionThenHealABALiveness: ABA decides despite an early partition.
+func TestPartitionThenHealABALiveness(t *testing.T) {
+	out, err := RunABA(RunSpec{
+		N: 4, F: -1, Seed: 7, Genesis: []byte("part"),
+		Sched: sim.NewPartition(map[int]bool{0: true}, 300, nil),
+		Steps: 5_000_000,
+	}, []byte{0, 1, 1, 0}, ABAPaperCoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Agreed {
+		t.Fatal("ABA disagreement after partition heal")
+	}
+}
+
+// TestTargetedStarvationTerminates: starving the seeding (coin) and coin
+// (ABA) paths pushes them to the causal frontier but cannot block
+// termination within an explicit step budget.
+func TestTargetedStarvationTerminates(t *testing.T) {
+	if _, err := RunCoin(RunSpec{
+		N: 4, F: -1, Seed: 11,
+		Sched: sim.TargetedInstanceScheduler{Prefix: "coin/sd/", Bias: 0.95},
+		Steps: 2_000_000,
+	}); err != nil {
+		t.Fatalf("coin with starved seeding: %v", err)
+	}
+	if _, err := RunABA(RunSpec{
+		N: 4, F: -1, Seed: 11, Genesis: []byte("starve"),
+		Sched: sim.TargetedInstanceScheduler{Prefix: "aba/c", Bias: 0.95},
+		Steps: 2_000_000,
+	}, []byte{1, 0, 1, 0}, ABAPaperCoin); err != nil {
+		t.Fatalf("aba with starved coins: %v", err)
+	}
+}
+
+// TestLIFOAndComposeTerminate: worst-case reordering and a phased composite
+// adversary preserve VBA/ABA termination and agreement.
+func TestLIFOAndComposeTerminate(t *testing.T) {
+	out, err := RunABA(RunSpec{
+		N: 4, F: -1, Seed: 13, Genesis: []byte("lifo"),
+		Sched: sim.LIFOScheduler(), Steps: 5_000_000,
+	}, []byte{0, 1, 0, 1}, ABAPaperCoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Agreed {
+		t.Fatal("ABA disagreement under LIFO")
+	}
+	vb, err := vbaRun(RunSpec{
+		N: 4, F: -1, Seed: 13, Genesis: []byte("lifo"),
+		Sched: composeSched(4, 13), Steps: 5_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb.Extra["agreed"] != 1 {
+		t.Fatal("VBA disagreement under composed adversary")
+	}
+}
+
+// TestAdvSpecsRunAndReplay: every registered adversarial spec executes at
+// its smallest n and replays bit-identically — the registry-level
+// determinism guarantee the matrix engine relies on.
+func TestAdvSpecsRunAndReplay(t *testing.T) {
+	specs, err := Select("adv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) == 0 {
+		t.Fatal("no adversarial specs registered")
+	}
+	for _, s := range specs {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			a, err := RunNamed(s.Name, s.Ns[0], 0, 5)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			b, err := RunNamed(s.Name, s.Ns[0], 0, 5)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("replay diverged:\n%+v\nvs\n%+v", a, b)
+			}
+		})
+	}
+}

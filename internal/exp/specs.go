@@ -1,0 +1,368 @@
+package exp
+
+// Built-in experiment specs: every EXPERIMENTS row (E1–E11), the Table 1
+// baselines, the design ablations, and the adversarial-scheduler scenario
+// suite, all as registry entries executed by the matrix engine.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// Default sweeps: the full Table 1 n-range for scaling rows, a small range
+// for statistical/adversarial rows where trials, not n, carry the signal.
+var (
+	sweepNs = []int{4, 7, 10, 13}
+	smallNs = []int{4, 7}
+)
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func statsRun(f func(RunSpec) (Stats, error)) func(RunSpec) (Outcome, error) {
+	return func(rs RunSpec) (Outcome, error) {
+		st, err := f(rs)
+		return Outcome{Stats: st}, err
+	}
+}
+
+func coinRun(rs RunSpec) (Outcome, error) {
+	out, err := RunCoin(rs)
+	if err != nil {
+		return Outcome{}, err
+	}
+	extra := map[string]float64{
+		"agreed":  b2f(out.Agreed),
+		"max-set": b2f(out.MaxIsSet),
+	}
+	for ph, t := range out.PerPhase {
+		extra["phase-bytes/"+ph] = float64(t.Bytes)
+	}
+	return Outcome{Stats: out.Stats, Extra: extra}, nil
+}
+
+func abaRun(kind ABACoinKind) func(RunSpec) (Outcome, error) {
+	return func(rs RunSpec) (Outcome, error) {
+		inputs := make([]byte, rs.N)
+		for i := range inputs {
+			inputs[i] = byte(i % 2) // split inputs: the coin-dependent case
+		}
+		out, err := RunABA(rs, inputs, kind)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Stats: out.Stats, Extra: map[string]float64{
+			"agreed":      b2f(out.Agreed),
+			"mean-round":  out.MeanRound,
+			"max-round":   float64(out.MaxRound),
+			"decided-bit": float64(out.Bit),
+		}}, nil
+	}
+}
+
+func electionRun(rs RunSpec) (Outcome, error) {
+	out, err := RunElection(rs)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Stats: out.Stats, Extra: map[string]float64{
+		"agreed":     b2f(out.Agreed),
+		"by-default": b2f(out.ByDefault),
+		"leader":     float64(out.Leader),
+	}}, nil
+}
+
+func vbaRun(rs RunSpec) (Outcome, error) {
+	props := make([][]byte, rs.N)
+	for i := range props {
+		props[i] = []byte(fmt.Sprintf("ok:p%d", i))
+	}
+	out, err := RunVBA(rs, props, func(v []byte) bool { return strings.HasPrefix(string(v), "ok:") })
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Stats: out.Stats, Extra: map[string]float64{
+		"agreed":   b2f(out.Agreed),
+		"max-view": float64(out.MaxView),
+	}}, nil
+}
+
+func adkgRun(rs RunSpec) (Outcome, error) {
+	out, err := RunADKG(rs)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Stats: out.Stats, Extra: map[string]float64{
+		"keys-agree":   b2f(out.KeysAgree),
+		"contributors": float64(out.Contributors),
+	}}, nil
+}
+
+func beaconRun(epochs int) func(RunSpec) (Outcome, error) {
+	return func(rs RunSpec) (Outcome, error) {
+		out, err := RunBeacon(rs, epochs)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Stats: out.Stats, Extra: map[string]float64{
+			"agreed":        b2f(out.Agreed),
+			"mean-attempts": out.MeanAttempt,
+		}}, nil
+	}
+}
+
+func kms20Run(bootstrap bool) func(RunSpec) (Outcome, error) {
+	return func(rs RunSpec) (Outcome, error) {
+		out, err := RunKMS20(rs)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if bootstrap {
+			return Outcome{Stats: out.Bootstrap}, nil
+		}
+		return Outcome{Stats: out.PerCoin}, nil
+	}
+}
+
+// Adversarial scheduler factories. Parameters scale with n so the adversary
+// stays meaningful across the sweep, and every factory builds fresh state
+// per run (partition and compose are stateful).
+
+func partitionSched(n int, _ int64) sim.Scheduler {
+	// Isolate the top f parties for ~60 picks per party, then heal fully.
+	return sim.NewPartition(lastF(n), int64(60*n), nil)
+}
+
+func targetedSched(prefix string, bias float64) SchedFactory {
+	return func(int, int64) sim.Scheduler {
+		return sim.TargetedInstanceScheduler{Prefix: prefix, Bias: bias}
+	}
+}
+
+func composeSched(n int, _ int64) sim.Scheduler {
+	return sim.Compose(
+		sim.Phase{Steps: int64(40 * n), Sched: sim.LIFOScheduler()},
+		sim.Phase{Steps: int64(40 * n), Sched: sim.TargetedInstanceScheduler{Prefix: "vba/el", Bias: 0.95}},
+		sim.Phase{}, // random for the rest of the run
+	)
+}
+
+func lifoSched(int, int64) sim.Scheduler { return sim.LIFOScheduler() }
+
+func lastF(n int) map[int]bool {
+	f := (n - 1) / 3
+	m := make(map[int]bool, f)
+	for i := n - f; i < n; i++ {
+		m[i] = true
+	}
+	return m
+}
+
+func delaySched(n int, _ int64) sim.Scheduler {
+	return sim.DelayScheduler{Slow: lastF(n), Bias: 0.85}
+}
+
+// NamedSched resolves a scheduler name into the same factories the scenario
+// specs use, so a `benchtable -sched partition` run reproduces exactly the
+// adversary behind adv/coin-partition. Recognized: random, fifo, lifo,
+// delay, partition, targeted:<inst-prefix>.
+func NamedSched(name string) (SchedFactory, error) {
+	switch {
+	case name == "random":
+		return func(int, int64) sim.Scheduler { return sim.RandomScheduler() }, nil
+	case name == "fifo":
+		return func(int, int64) sim.Scheduler { return sim.FIFOScheduler() }, nil
+	case name == "lifo":
+		return lifoSched, nil
+	case name == "delay":
+		return delaySched, nil
+	case name == "partition":
+		return partitionSched, nil
+	case strings.HasPrefix(name, "targeted:"):
+		prefix := strings.TrimPrefix(name, "targeted:")
+		if prefix == "" {
+			return nil, fmt.Errorf("exp: targeted scheduler needs an instance prefix, e.g. targeted:coin/sd/")
+		}
+		return targetedSched(prefix, 0.95), nil
+	default:
+		return nil, fmt.Errorf("exp: unknown scheduler %q", name)
+	}
+}
+
+func init() {
+	// E1 / Table 1 — common coin column.
+	Register(Spec{
+		Name: "e1/coin-pki", Group: "e1", Tags: []string{"table1"},
+		Title: "this paper (Coin, PKI)", Claim: "Θ(λn³)",
+		Ns: sweepNs, Trials: 3, Run: coinRun,
+	})
+	Register(Spec{
+		Name: "e1/coin-genesis", Group: "e1", Tags: []string{"table1"},
+		Title: "this paper (Coin, 1-time rnd)", Claim: "Θ(λn³)",
+		Ns: sweepNs, Trials: 3, Genesis: []byte("benchtable"), Run: coinRun,
+	})
+	Register(Spec{
+		Name: "e1/ckls02", Group: "e1", Tags: []string{"table1"},
+		Title: "CKLS02-shape", Claim: "Θ(λn⁴)",
+		Ns: sweepNs, Trials: 3,
+		Run: statsRun(func(rs RunSpec) (Stats, error) { return RunBaselineCoin(rs, BaselineCKLS02) }),
+	})
+	Register(Spec{
+		Name: "e1/ajm21", Group: "e1", Tags: []string{"table1"},
+		Title: "AJM+21-shape", Claim: "Θ(λn³·log n)",
+		Ns: sweepNs, Trials: 3,
+		Run: statsRun(func(rs RunSpec) (Stats, error) { return RunBaselineCoin(rs, BaselineAJM21) }),
+	})
+	Register(Spec{
+		Name: "e1/kms20-bootstrap", Group: "e1", Tags: []string{"table1"},
+		Title: "KMS20-shape bootstrap", Claim: "Θ(n) rounds",
+		Ns: sweepNs, Trials: 3, Run: kms20Run(true),
+	})
+	Register(Spec{
+		Name: "e1/kms20-percoin", Group: "e1", Tags: []string{"table1"},
+		Title: "KMS20-shape per-coin", Claim: "Θ(λn²)",
+		Ns: sweepNs, Trials: 3, Run: kms20Run(false),
+	})
+	Register(Spec{
+		Name: "e1/threshcoin", Group: "e1", Tags: []string{"table1"},
+		Title: "CKS00 threshold (private!)", Claim: "Θ(λn²)",
+		Ns: sweepNs, Trials: 3,
+		Run: statsRun(func(rs RunSpec) (Stats, error) { return RunBaselineCoin(rs, BaselineThresh) }),
+	})
+
+	// E2 / Table 1 — Election and VBA column.
+	Register(Spec{
+		Name: "e2/election", Group: "e2", Tags: []string{"table1"},
+		Title: "Election (this paper)", Claim: "Θ(λn³)",
+		Ns: sweepNs, Trials: 3, Run: electionRun,
+	})
+	Register(Spec{
+		Name: "e2/vba", Group: "e2", Tags: []string{"table1"},
+		Title: "VBA (this paper)", Claim: "Θ(λn³)",
+		Ns: sweepNs, Trials: 3, Run: vbaRun,
+	})
+
+	// E3 / Fig 2 — coin phase pipeline (per-phase bytes ride in Extra).
+	Register(Spec{
+		Name: "e3/coin-phases", Group: "e3",
+		Title: "Coin phase breakdown", Claim: "AVSS+Seeding dominate",
+		Ns: []int{7}, Trials: 3, Run: coinRun,
+	})
+
+	// E4 / Thm 3 — coin agreement rate under adversarial delay.
+	Register(Spec{
+		Name: "e4/coin-agreement", Group: "e4",
+		Title: "Coin agreement (random sched)", Claim: "α ≥ 1/3",
+		Ns: []int{4}, Trials: 10, Run: coinRun,
+	})
+	Register(Spec{
+		Name: "e4/coin-agreement-delay", Group: "e4",
+		Title: "Coin agreement (delay adversary)", Claim: "α ≥ 1/3",
+		Ns: []int{4}, Trials: 10, Sched: delaySched, Run: coinRun,
+	})
+
+	// E5 / Thm 5 — election never disagrees, few default fallbacks.
+	Register(Spec{
+		Name: "e5/election-agreement", Group: "e5",
+		Title: "Election agreement (delay adversary)", Claim: "perfect agreement",
+		Ns: []int{4}, Trials: 10, Genesis: []byte("e5"), Sched: delaySched, Run: electionRun,
+	})
+
+	// E6 / Thm 4 — ABA rounds-to-decide by coin type.
+	Register(Spec{
+		Name: "e6/aba-paper", Group: "e6",
+		Title: "ABA, paper coin", Claim: "E[rounds] = O(1)",
+		Ns: smallNs, Trials: 5, Genesis: []byte("e6"), Run: abaRun(ABAPaperCoin),
+	})
+	Register(Spec{
+		Name: "e6/aba-testcoin", Group: "e6",
+		Title: "ABA, perfect test coin", Claim: "E[rounds] = O(1)",
+		Ns: smallNs, Trials: 5, Genesis: []byte("e6"), Run: abaRun(ABATestCoin),
+	})
+	Register(Spec{
+		Name: "e6/aba-threshcoin", Group: "e6",
+		Title: "ABA, threshold coin (setup)", Claim: "E[rounds] = O(1)",
+		Ns: smallNs, Trials: 5, Genesis: []byte("e6"), Run: abaRun(ABAThreshCoin),
+	})
+
+	// E7–E8 / §7.3 applications.
+	Register(Spec{
+		Name: "e7/adkg", Group: "e7",
+		Title: "ADKG (this paper's VBA)", Claim: "Θ(λn³)",
+		Ns: sweepNs, Trials: 2, Genesis: []byte("e7"), Run: adkgRun,
+	})
+	Register(Spec{
+		Name: "e8/beacon", Group: "e8",
+		Title: "DKG-free beacon (2 epochs)", Claim: "≤ 1/α attempts/epoch",
+		Ns: []int{4}, Trials: 3, Genesis: []byte("e8"), Run: beaconRun(2),
+	})
+
+	// E9–E11 / sub-protocols.
+	Register(Spec{
+		Name: "e9/avss", Group: "e9",
+		Title: "AVSS (λ-bit secret)", Claim: "Θ(λn²)",
+		Ns: sweepNs, Trials: 3,
+		Run: statsRun(func(rs RunSpec) (Stats, error) { return RunAVSS(rs, 32) }),
+	})
+	Register(Spec{
+		Name: "e10/wcs", Group: "e10",
+		Title: "WCS", Claim: "Θ(λn³), 3 rounds",
+		Ns: sweepNs, Trials: 3, Run: statsRun(RunWCS),
+	})
+	Register(Spec{
+		Name: "e11/seeding", Group: "e11",
+		Title: "Seeding", Claim: "Θ(λn²)",
+		Ns: sweepNs, Trials: 3, Run: statsRun(RunSeeding),
+	})
+
+	// Design ablations.
+	Register(Spec{
+		Name: "ablation/rbc-gather", Group: "ablation",
+		Title: "RBC core-set gather (WCS foil)", Claim: "~n³ msgs, 2× rounds",
+		Ns: sweepNs, Trials: 2, Run: statsRun(RunRBCGather),
+	})
+	Register(Spec{
+		Name: "ablation/avss-wide", Group: "ablation",
+		Title: "AVSS (λn-bit secret)", Claim: "Θ(λn³) tail",
+		Ns: sweepNs, Trials: 2,
+		Run: statsRun(func(rs RunSpec) (Stats, error) { return RunAVSS(rs, 32*rs.N) }),
+	})
+
+	// Adversarial-scheduler scenario suite: each new sim adversary gets at
+	// least one spec; liveness under these schedules is a paper property
+	// (termination under arbitrary-but-eventual delivery).
+	Register(Spec{
+		Name: "adv/coin-partition", Group: "adv", Tags: []string{"sched"},
+		Title: "Coin under partition-then-heal", Claim: "terminates; α ≥ 1/3",
+		Ns: smallNs, Trials: 4, Sched: partitionSched, Run: coinRun,
+	})
+	Register(Spec{
+		Name: "adv/aba-lifo", Group: "adv", Tags: []string{"sched"},
+		Title: "ABA under LIFO reordering", Claim: "terminates, O(1) rounds",
+		Ns: smallNs, Trials: 4, Genesis: []byte("adv"), Sched: lifoSched,
+		Run: abaRun(ABAPaperCoin),
+	})
+	Register(Spec{
+		Name: "adv/coin-starve-seeding", Group: "adv", Tags: []string{"sched"},
+		Title: "Coin with Seeding starved", Claim: "terminates",
+		Ns: smallNs, Trials: 4, Sched: targetedSched("coin/sd/", 0.95), Run: coinRun,
+	})
+	Register(Spec{
+		Name: "adv/vba-compose", Group: "adv", Tags: []string{"sched"},
+		Title: "VBA under LIFO→starve-election→random", Claim: "terminates, agrees",
+		Ns: smallNs, Trials: 4, Genesis: []byte("adv"), Sched: composeSched, Run: vbaRun,
+	})
+	Register(Spec{
+		Name: "adv/election-crash-spread", Group: "adv", Tags: []string{"sched"},
+		Title: "Election, f spread crashes + delay", Claim: "perfect agreement",
+		Ns: smallNs, Trials: 4, Genesis: []byte("adv"), Sched: delaySched,
+		Crash: func(n, f int) int { return f }, Where: harness.CrashSpread, Run: electionRun,
+	})
+}

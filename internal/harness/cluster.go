@@ -1,7 +1,7 @@
 // Package harness assembles simulated clusters — key setup (bulletin PKI),
-// network, per-node protocol wiring — and the experiment runners behind
-// EXPERIMENTS.md. It is shared by the test suite, the testing.B benchmarks,
-// and cmd/benchtable.
+// network, per-node protocol wiring, crash profiles. It is shared by the
+// test suite, the testing.B benchmarks, and cmd/benchtable (see README.md
+// for the experiment index).
 package harness
 
 import (
@@ -98,4 +98,36 @@ func LastFByzantine(n, f int) map[int]bool {
 		m[i] = true
 	}
 	return m
+}
+
+// CrashProfile names which parties a crash-fault scenario fells.
+type CrashProfile string
+
+// Crash profiles for Crashed.
+const (
+	CrashLast   CrashProfile = "last"   // top-indexed parties (the default)
+	CrashFirst  CrashProfile = "first"  // low indices, which win ties in several protocols
+	CrashSpread CrashProfile = "spread" // k seed-derived distinct indices
+)
+
+// Crashed returns the corruption map for k crashed parties under the given
+// profile. The spread profile derives its choice from seed alone, so a fixed
+// (profile, n, k, seed) tuple is replayable. An empty profile means CrashLast.
+func Crashed(profile CrashProfile, n, k int, seed int64) map[int]bool {
+	if k <= 0 {
+		return map[int]bool{}
+	}
+	switch profile {
+	case CrashFirst:
+		return FirstFByzantine(k)
+	case CrashSpread:
+		rng := rand.New(rand.NewSource(seed ^ 0xc4a5_4ed5))
+		m := make(map[int]bool, k)
+		for _, i := range rng.Perm(n)[:k] {
+			m[i] = true
+		}
+		return m
+	default:
+		return LastFByzantine(n, k)
+	}
 }

@@ -56,6 +56,31 @@ func TestFirstLastByzantineHelpers(t *testing.T) {
 	}
 }
 
+func TestCrashedProfiles(t *testing.T) {
+	if got := Crashed(CrashLast, 7, 2, 1); !got[5] || !got[6] || len(got) != 2 {
+		t.Fatalf("last: %v", got)
+	}
+	if got := Crashed(CrashFirst, 7, 2, 1); !got[0] || !got[1] || len(got) != 2 {
+		t.Fatalf("first: %v", got)
+	}
+	if got := Crashed("", 7, 2, 1); !got[5] || !got[6] {
+		t.Fatalf("empty profile should mean last: %v", got)
+	}
+	if got := Crashed(CrashSpread, 7, 0, 1); len(got) != 0 {
+		t.Fatalf("k=0 must crash nobody: %v", got)
+	}
+	a := Crashed(CrashSpread, 7, 2, 9)
+	b := Crashed(CrashSpread, 7, 2, 9)
+	if len(a) != 2 {
+		t.Fatalf("spread size: %v", a)
+	}
+	for i := range a {
+		if !b[i] {
+			t.Fatalf("spread profile not seed-deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
 func TestDeterministicKeys(t *testing.T) {
 	a, err := NewCluster(4, -1, 42, Options{})
 	if err != nil {

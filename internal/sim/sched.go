@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Adversarial scheduler suite. Every scheduler here is deterministic given
+// the run seed: the only randomness a Pick may consume is the *rand.Rand the
+// network hands it, and any internal state advances one step per Pick, so a
+// fixed (scheduler construction, seed) pair replays an execution
+// bit-for-bit.
+//
+// PartitionScheduler and Compose carry per-run state (pick counters); build
+// a fresh value per run — sharing one across runs would let the first run's
+// progress bleed into the second and break replayability.
+
+// LIFOScheduler delivers the most recently sent in-flight message first — a
+// worst-case reordering adversary that maximally inverts send order while
+// still delivering every message eventually (the queue is finite, and
+// protocol quiescence forces the backlog to drain newest-to-oldest).
+func LIFOScheduler() Scheduler {
+	return SchedulerFunc(func(_ *rand.Rand, q []*Envelope) int {
+		best := 0
+		for i, e := range q {
+			if e.Seq > q[best].Seq {
+				best = i
+			}
+		}
+		return best
+	})
+}
+
+// PartitionScheduler isolates a party subset for a bounded number of
+// deliveries and then heals. While the partition holds, messages crossing
+// the boundary (one endpoint inside Isolated, the other outside) are held
+// back and the Base scheduler picks among same-side traffic. If only
+// cross-boundary messages are in flight the oldest one leaks through — the
+// asynchronous adversary may delay, not destroy, so it cannot stall the
+// network forever. After HealAfter picks the Base scheduler sees the whole
+// queue again.
+type PartitionScheduler struct {
+	Isolated  map[int]bool
+	HealAfter int64     // number of Picks during which the partition holds
+	Base      Scheduler // applied to the candidate set; nil = RandomScheduler
+
+	picks int64
+}
+
+// NewPartition builds a fresh PartitionScheduler for one run.
+func NewPartition(isolated map[int]bool, healAfter int64, base Scheduler) *PartitionScheduler {
+	if base == nil {
+		base = RandomScheduler()
+	}
+	return &PartitionScheduler{Isolated: isolated, HealAfter: healAfter, Base: base}
+}
+
+func (p *PartitionScheduler) crosses(e *Envelope) bool {
+	return p.Isolated[e.From] != p.Isolated[e.To]
+}
+
+// Pick implements Scheduler.
+func (p *PartitionScheduler) Pick(r *rand.Rand, q []*Envelope) int {
+	base := p.Base
+	if base == nil {
+		base = RandomScheduler()
+	}
+	p.picks++
+	if p.picks > p.HealAfter {
+		return base.Pick(r, q)
+	}
+	var same []int
+	for i, e := range q {
+		if !p.crosses(e) {
+			same = append(same, i)
+		}
+	}
+	if len(same) == 0 {
+		oldest := 0
+		for i, e := range q {
+			if e.Seq < q[oldest].Seq {
+				oldest = i
+			}
+		}
+		return oldest
+	}
+	sub := make([]*Envelope, len(same))
+	for k, i := range same {
+		sub[k] = q[i]
+	}
+	j := base.Pick(r, sub)
+	if j < 0 || j >= len(sub) {
+		j = 0
+	}
+	return same[j]
+}
+
+// TargetedInstanceScheduler starves one sub-protocol path: with probability
+// Bias it delivers a message whose instance path does NOT carry Prefix when
+// any exists. Matching messages still get through once nothing else is in
+// flight (or on the 1−Bias branch), so delivery stays eventual and runs
+// terminate — the starved path is merely pushed to the causal frontier.
+// Prefix names an instance-path prefix, e.g. "coin/sd/" to starve the
+// seeding instances or "aba/c" to starve the ABA's coins.
+type TargetedInstanceScheduler struct {
+	Prefix string
+	Bias   float64
+}
+
+// Pick implements Scheduler.
+func (t TargetedInstanceScheduler) Pick(r *rand.Rand, q []*Envelope) int {
+	if r.Float64() < t.Bias {
+		other := make([]int, 0, len(q))
+		for i, e := range q {
+			if !strings.HasPrefix(e.Inst, t.Prefix) {
+				other = append(other, i)
+			}
+		}
+		if len(other) > 0 {
+			return other[r.Intn(len(other))]
+		}
+	}
+	return r.Intn(len(q))
+}
+
+// Phase is one stage of a Compose schedule.
+type Phase struct {
+	Steps int64     // picks this phase lasts; the final phase ignores it
+	Sched Scheduler // nil = RandomScheduler
+}
+
+// Compose chains schedulers into a timeline: phase i's scheduler makes
+// Phase.Steps picks, then hands over to phase i+1; the last phase runs for
+// the rest of the execution regardless of its Steps. Composing lets one run
+// express adversaries like "LIFO chaos for 500 deliveries, then starve the
+// coin, then behave randomly". A Compose value is single-run state — build
+// a fresh one per execution.
+func Compose(phases ...Phase) Scheduler {
+	if len(phases) == 0 {
+		return RandomScheduler()
+	}
+	cp := &composed{phases: make([]Phase, len(phases))}
+	copy(cp.phases, phases)
+	for i := range cp.phases {
+		if cp.phases[i].Sched == nil {
+			cp.phases[i].Sched = RandomScheduler()
+		}
+	}
+	return cp
+}
+
+type composed struct {
+	phases []Phase
+	idx    int
+	used   int64
+}
+
+// Pick implements Scheduler.
+func (c *composed) Pick(r *rand.Rand, q []*Envelope) int {
+	for c.idx < len(c.phases)-1 && c.used >= c.phases[c.idx].Steps {
+		c.idx, c.used = c.idx+1, 0
+	}
+	c.used++
+	return c.phases[c.idx].Sched.Pick(r, q)
+}

@@ -65,9 +65,19 @@ func RandomScheduler() Scheduler {
 	return SchedulerFunc(func(r *rand.Rand, q []*Envelope) int { return r.Intn(len(q)) })
 }
 
-// FIFOScheduler delivers messages in send order (a best-case network).
+// FIFOScheduler delivers messages in send order (a best-case network). It
+// selects by sequence number, not queue position: the queue swap-removes on
+// delivery, so slot 0 is not necessarily the oldest message.
 func FIFOScheduler() Scheduler {
-	return SchedulerFunc(func(_ *rand.Rand, _ []*Envelope) int { return 0 })
+	return SchedulerFunc(func(_ *rand.Rand, q []*Envelope) int {
+		best := 0
+		for i, e := range q {
+			if e.Seq < q[best].Seq {
+				best = i
+			}
+		}
+		return best
+	})
 }
 
 // DelayScheduler adversarially starves traffic touching the Slow set: with
@@ -290,17 +300,19 @@ func (nw *Network) run(nd *Node, env *Envelope, h Handler) {
 
 // Run steps the network until done() reports true, the queue drains, or
 // maxSteps deliveries have happened. It returns an error on step exhaustion
-// while done() is still false (a liveness-failure signal for tests).
+// or on queue drain while done() is still false (a liveness-failure signal
+// for tests). A nil done means "run until quiescent", exactly like RunAll;
+// done() is consulted at most once per delivery.
 func (nw *Network) Run(maxSteps int64, done func() bool) error {
+	if done == nil {
+		return nw.RunAll(maxSteps)
+	}
 	for s := int64(0); ; s++ {
 		nw.drainReplays()
-		if done != nil && done() {
+		if done() {
 			return nil
 		}
 		if len(nw.queue) == 0 {
-			if done == nil || done() {
-				return nil
-			}
 			return fmt.Errorf("sim: queue drained after %d steps but run not done", s)
 		}
 		if s >= maxSteps {

@@ -17,9 +17,9 @@
 //	// res.Stats.Bytes documents the expected O(λn³) communication.
 //
 // Deeper control (custom schedulers, Byzantine behaviours, sub-protocol
-// access, Table 1 baselines) lives in the internal packages; see DESIGN.md
-// for the system inventory and EXPERIMENTS.md for the paper-vs-measured
-// record.
+// access, Table 1 baselines) lives in the internal packages; see README.md
+// for the system inventory, the experiment registry and the
+// paper-vs-measured record (go run ./cmd/benchtable).
 package repro
 
 import (
