@@ -13,7 +13,8 @@
 //	go run ./cmd/benchtable -exp table1 -json -out BENCH_table1.json
 //
 // Selectors name specs ("e1/coin-pki"), groups ("e1".."e11", "ablation",
-// "adv") or tags ("table1", "sched"); "all" selects everything. Growth
+// "adv", "mux") or tags ("table1", "sched", "session"); "all" selects
+// everything. Growth
 // exponents are least-squares fits of log(mean bytes) against log(n); the
 // paper's claims are Θ(λn³) for the new protocols, Θ(λn⁴) for CKLS02-shape,
 // Θ(λn³ log n) for AJM+21-shape and Θ(λn²) for the threshold-setup coin.
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "table1", "spec/group/tag selector, comma-separated (e.g. table1, e1..e11, adv, all)")
+	expFlag := flag.String("exp", "table1", "spec/group/tag selector, comma-separated (e.g. table1, e1..e11, adv, mux, all)")
 	nFlag := flag.String("n", "", "comma-separated party counts overriding each spec's sweep")
 	seed := flag.Int64("seed", 1, "base seed (every cell derives its own via TrialSeed)")
 	trials := flag.Int("trials", 0, "trials per (spec, n); 0 = spec default")
@@ -208,6 +209,12 @@ func printExtras(s exp.SpecReport) {
 	}
 	if d, ok := last.Extra["by-default"]; ok {
 		parts = append(parts, fmt.Sprintf("default-leader fallbacks %.0f%%", 100*d.Mean))
+	}
+	if d, ok := last.Extra["all-agreed"]; ok {
+		parts = append(parts, fmt.Sprintf("all instances agreed %.0f%%", 100*d.Mean))
+	}
+	if d, ok := last.Extra["bytes-ratio"]; ok {
+		parts = append(parts, fmt.Sprintf("Σ inst/total bytes %.3f", d.Mean))
 	}
 	if len(parts) > 0 {
 		fmt.Printf("%-34s    · %s\n", "", strings.Join(parts, ", "))

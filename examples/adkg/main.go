@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,14 +17,21 @@ import (
 
 func main() {
 	for _, n := range []int{4, 7} {
-		res, err := repro.GenerateKey(repro.Config{
-			N:            n,
-			Seed:         int64(100 + n),
-			GenesisNonce: []byte("adkg-demo"), // adaptive coin variant keeps the demo fast
-		})
+		cluster, err := repro.NewCluster(n,
+			repro.WithSeed(int64(100+n)),
+			repro.WithGenesisNonce([]byte("adkg-demo"))) // adaptive coin variant keeps the demo fast
 		if err != nil {
 			log.Fatalf("n=%d: %v", n, err)
 		}
+		h, err := cluster.GenerateKey("dkg")
+		if err != nil {
+			log.Fatalf("n=%d: %v", n, err)
+		}
+		res, err := h.Wait(context.Background())
+		if err != nil {
+			log.Fatalf("n=%d: %v", n, err)
+		}
+		cluster.Close()
 		fmt.Printf("n=%d: DKG complete — %d contributors aggregated, consistent keys at every party\n",
 			n, res.Contributors)
 		fmt.Printf("      cost: %d msgs, %d bytes, %d rounds\n",

@@ -2,12 +2,14 @@
 // unbiased, unpredictable 128-bit values by chaining leader elections —
 // no distributed key generation to bootstrap, which is what makes the
 // construction reconfiguration-friendly. Each epoch consumes an expected
-// 1/α ≤ 3 Election attempts.
+// 1/α ≤ 3 Election attempts. The cluster is long-lived: a second beacon
+// run reuses the same parties and keys without repeating the PKI setup.
 //
 //	go run ./examples/beacon
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +18,17 @@ import (
 
 func main() {
 	const epochs = 3
-	res, err := repro.RunBeacon(repro.Config{N: 4, Seed: 7}, epochs)
+	cluster, err := repro.NewCluster(4, repro.WithSeed(7))
+	if err != nil {
+		log.Fatalf("cluster: %v", err)
+	}
+	defer cluster.Close()
+
+	h, err := cluster.NewBeacon("day1", epochs)
+	if err != nil {
+		log.Fatalf("beacon: %v", err)
+	}
+	res, err := h.Wait(context.Background())
 	if err != nil {
 		log.Fatalf("beacon: %v", err)
 	}
@@ -27,4 +39,15 @@ func main() {
 	fmt.Printf("mean Election attempts/epoch: %.2f (expected ≤ 3 at α = 1/3)\n", res.MeanAttempts)
 	fmt.Printf("total: %d msgs, %d bytes, %d rounds\n",
 		res.Stats.Messages, res.Stats.Bytes, res.Stats.Rounds)
+
+	// Next day, same cluster — no new key setup, just a new instance tag.
+	h2, err := cluster.NewBeacon("day2", 1)
+	if err != nil {
+		log.Fatalf("beacon day2: %v", err)
+	}
+	res2, err := h2.Wait(context.Background())
+	if err != nil {
+		log.Fatalf("beacon day2: %v", err)
+	}
+	fmt.Printf("reused cluster, next epoch: %x\n", res2.Values[0])
 }

@@ -171,6 +171,11 @@ func (a *ABA) Start(input byte) {
 	a.est = input & 1
 	a.round = 1
 	a.sendEST1(1, a.est)
+	// Messages for round 1 may have fully arrived before activation (the
+	// tryPropose/tryCoin guards drop them while !started); re-evaluate now or
+	// an adversarial schedule that front-loads round 1 stalls the instance.
+	a.tryPropose(1)
+	a.tryCoin(1)
 }
 
 // Decided returns the decided bit, if any (set at decision, before halting).

@@ -134,8 +134,12 @@ func TestSelectResolvesNamesGroupsAndTags(t *testing.T) {
 		t.Fatalf("name select: %v %v", one, err)
 	}
 	grp, err := Select("adv")
-	if err != nil || len(grp) != 5 {
+	if err != nil || len(grp) != 6 {
 		t.Fatalf("adv group select: %d specs, err %v", len(grp), err)
+	}
+	mux, err := Select("mux")
+	if err != nil || len(mux) != 4 {
+		t.Fatalf("mux group select: %d specs, err %v", len(mux), err)
 	}
 	if _, err := Select("no-such-thing"); err == nil {
 		t.Fatal("unknown selector did not error")

@@ -1,0 +1,118 @@
+package exp
+
+// Concurrent-instance runners: N protocol instances multiplexed onto ONE
+// long-lived cluster — key setup paid once, instances distinguished by tag,
+// interleaved by the (possibly adversarial) scheduler on the simulator and
+// truly parallel on the live runtime. This is the session-era experiment
+// family: the registry's mux/* specs assert liveness and per-instance
+// accounting for workloads like "8 VBAs sharing a 16-party cluster under
+// LIFO".
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core/vba"
+)
+
+// MuxOutcome reports k concurrent instances that shared one cluster.
+type MuxOutcome struct {
+	Stats         Stats // cluster-wide totals (single shared network)
+	PerInstance   []Stats
+	Instances     int
+	AllAgreed     bool  // every instance internally agreed
+	InstanceBytes int64 // Σ per-instance scoped bytes; ≈ Stats.Bytes when
+	// accounting is airtight (no traffic outside instance tags)
+}
+
+// muxValid is the external-validity predicate shared by the mux VBA specs.
+func muxValid(v []byte) bool { return strings.HasPrefix(string(v), "ok:") }
+
+// RunVBAMux executes k concurrent VBA instances on one shared cluster;
+// instance j's party i proposes a distinct valid value, so per-instance
+// decisions are independent.
+func RunVBAMux(spec RunSpec, k int) (MuxOutcome, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return MuxOutcome{}, err
+	}
+	insts := make([]*VBAInstance, k)
+	for j := 0; j < k; j++ {
+		props := make([][]byte, spec.N)
+		for i := range props {
+			props[i] = []byte(fmt.Sprintf("ok:i%d-p%d", j, i))
+		}
+		insts[j] = LaunchVBA(c, fmt.Sprintf("vba%d", j), props, muxValid, vba.Config{Coin: spec.coinCfg()})
+	}
+	out := MuxOutcome{Instances: k, AllAgreed: true}
+	for j, inst := range insts {
+		if err := inst.Wait(context.Background()); err != nil {
+			return MuxOutcome{}, fmt.Errorf("vba mux [%d/%d]: %w", j, k, err)
+		}
+		o := inst.Outcome()
+		if !o.Agreed {
+			out.AllAgreed = false
+		}
+		out.PerInstance = append(out.PerInstance, o.Stats)
+		out.InstanceBytes += o.Stats.Bytes
+	}
+	tl := c.TotalTally()
+	out.Stats = Stats{N: c.N, F: c.F, Msgs: tl.Msgs, Bytes: tl.Bytes, Steps: c.Steps()}
+	for _, s := range out.PerInstance {
+		if s.Rounds > out.Stats.Rounds {
+			out.Stats.Rounds = s.Rounds
+		}
+	}
+	return out, nil
+}
+
+// RunCoinMux executes k concurrent common coins on one shared cluster.
+func RunCoinMux(spec RunSpec, k int) (MuxOutcome, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return MuxOutcome{}, err
+	}
+	insts := make([]*CoinInstance, k)
+	for j := 0; j < k; j++ {
+		insts[j] = LaunchCoin(c, fmt.Sprintf("coin%d", j), spec.coinCfg())
+	}
+	out := MuxOutcome{Instances: k, AllAgreed: true}
+	for j, inst := range insts {
+		if err := inst.Wait(context.Background()); err != nil {
+			return MuxOutcome{}, fmt.Errorf("coin mux [%d/%d]: %w", j, k, err)
+		}
+		o := inst.Outcome()
+		if !o.Agreed {
+			out.AllAgreed = false
+		}
+		out.PerInstance = append(out.PerInstance, o.Stats)
+		out.InstanceBytes += o.Stats.Bytes
+	}
+	tl := c.TotalTally()
+	out.Stats = Stats{N: c.N, F: c.F, Msgs: tl.Msgs, Bytes: tl.Bytes, Steps: c.Steps()}
+	for _, s := range out.PerInstance {
+		if s.Rounds > out.Stats.Rounds {
+			out.Stats.Rounds = s.Rounds
+		}
+	}
+	return out, nil
+}
+
+func muxRun(k int, f func(RunSpec, int) (MuxOutcome, error)) func(RunSpec) (Outcome, error) {
+	return func(rs RunSpec) (Outcome, error) {
+		out, err := f(rs, k)
+		if err != nil {
+			return Outcome{}, err
+		}
+		ratio := 0.0
+		if out.Stats.Bytes > 0 {
+			ratio = float64(out.InstanceBytes) / float64(out.Stats.Bytes)
+		}
+		return Outcome{Stats: out.Stats, Extra: map[string]float64{
+			"all-agreed":  b2f(out.AllAgreed),
+			"instances":   float64(out.Instances),
+			"bytes-ratio": ratio, // per-instance accounting should sum to ≈ 1× total
+		}}, nil
+	}
+}

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestVBAMuxSharedClusterAccounting: concurrent VBAs on one cluster stay
+// independent — every instance agrees internally, and the per-instance
+// byte tallies sum back to the cluster total exactly (no traffic escapes
+// instance scoping).
+func TestVBAMuxSharedClusterAccounting(t *testing.T) {
+	out, err := RunVBAMux(RunSpec{N: 4, F: -1, Seed: 21, Genesis: []byte("mux")}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllAgreed || out.Instances != 5 || len(out.PerInstance) != 5 {
+		t.Fatalf("bad mux outcome: %+v", out)
+	}
+	if out.InstanceBytes != out.Stats.Bytes {
+		t.Fatalf("Σ instance bytes %d != cluster total %d", out.InstanceBytes, out.Stats.Bytes)
+	}
+	for j, s := range out.PerInstance {
+		if s.Bytes == 0 || s.Msgs == 0 {
+			t.Fatalf("instance %d has empty stats: %+v", j, s)
+		}
+	}
+}
+
+// TestVBAMuxUnderLIFOAndReplay: the concurrent-instance family survives
+// worst-case reordering and replays bit-identically.
+func TestVBAMuxUnderLIFOAndReplay(t *testing.T) {
+	spec := RunSpec{N: 4, F: -1, Seed: 23, Genesis: []byte("mux"), Sched: sim.LIFOScheduler(), Steps: 5_000_000}
+	a, err := RunVBAMux(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.AllAgreed {
+		t.Fatal("mux VBA disagreement under LIFO")
+	}
+	spec.Sched = sim.LIFOScheduler()
+	b, err := RunVBAMux(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("mux replay diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestCoinMuxFullSeeding: concurrent coins with the full Seeding layer
+// (no genesis nonce) share one cluster.
+func TestCoinMuxFullSeeding(t *testing.T) {
+	out, err := RunCoinMux(RunSpec{N: 4, F: -1, Seed: 29}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.InstanceBytes != out.Stats.Bytes {
+		t.Fatalf("Σ instance bytes %d != cluster total %d", out.InstanceBytes, out.Stats.Bytes)
+	}
+}

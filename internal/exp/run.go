@@ -1,14 +1,18 @@
-// Package exp contains the experiment layer: the per-protocol Run*
-// functions (each builds a fresh keyed cluster, executes one protocol to
-// completion, and reports the paper's three metrics of §3 plus
-// outcome-quality fields), the named-Spec registry indexing every
-// experiment E1–E11 with its baselines and adversarial scenarios, and the
-// parallel matrix engine that sweeps specs over party counts and seeded
+// Package exp contains the experiment layer: the instance launchers
+// (launch.go) that wire one protocol instance onto a long-lived
+// harness.Cluster of either runtime, the per-protocol Run* functions (each
+// builds a fresh keyed cluster, executes one instance to completion, and
+// reports the paper's three metrics of §3 plus outcome-quality fields), the
+// concurrent-instance runners (mux.go), the named-Spec registry indexing
+// every experiment E1–E11 with its baselines and adversarial scenarios, and
+// the parallel matrix engine that sweeps specs over party counts and seeded
 // trials. It is shared by cmd/benchtable, the root testing.B benchmarks,
-// and the integration test suite; see README.md for the experiment index.
+// the public session API (repro.Cluster) and the integration test suite;
+// see README.md for the experiment index.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -52,14 +56,14 @@ type RunSpec struct {
 	Sched   sim.Scheduler        // nil = random
 	Crash   int                  // crash `Crash` parties (see CrashWhere)
 	Where   harness.CrashProfile // which parties crash; "" = last
-	Steps   int64                // delivery budget; 0 = generous default
+	Steps   int64                // delivery budget; 0 = sim.DefaultDeliveryBudget
 }
 
 func (r RunSpec) steps() int64 {
 	if r.Steps > 0 {
 		return r.Steps
 	}
-	return 2_000_000_000
+	return sim.DefaultDeliveryBudget
 }
 
 func (r RunSpec) cluster() (*harness.Cluster, error) {
@@ -68,7 +72,9 @@ func (r RunSpec) cluster() (*harness.Cluster, error) {
 		f = (r.N - 1) / 3
 	}
 	byz := harness.Crashed(r.Where, r.N, r.Crash, r.Seed)
-	return harness.NewCluster(r.N, f, r.Seed, harness.Options{Scheduler: r.Sched, Byzantine: byz, Crash: true})
+	return harness.NewCluster(r.N, f, r.Seed, harness.Options{
+		Scheduler: r.Sched, Byzantine: byz, Crash: true, Budget: r.steps(),
+	})
 }
 
 func (r RunSpec) coinCfg() coin.Config { return coin.Config{GenesisNonce: r.Genesis} }
@@ -97,41 +103,11 @@ func RunCoin(spec RunSpec) (CoinOutcome, error) {
 	if err != nil {
 		return CoinOutcome{}, err
 	}
-	res := make(map[int]coin.Result)
-	rounds := 0
-	c.EachHonest(func(i int) {
-		co := coin.New(c.Net.Node(i), "coin", c.Keys[i], spec.coinCfg(), func(r coin.Result) {
-			res[i] = r
-			if d := c.Net.Node(i).Depth(); d > rounds {
-				rounds = d
-			}
-		})
-		co.Start()
-	})
-	if err := c.Net.Run(spec.steps(), func() bool { return len(res) == c.Honest() }); err != nil {
+	inst := LaunchCoin(c, "coin", spec.coinCfg())
+	if err := inst.Wait(context.Background()); err != nil {
 		return CoinOutcome{}, fmt.Errorf("coin run: %w", err)
 	}
-	out := CoinOutcome{Agreed: true, MaxIsSet: true, PerPhase: map[string]sim.Tally{
-		"seeding":   c.Net.Metrics().ByPrefix("coin/sd/"),
-		"avss":      c.Net.Metrics().ByPrefix("coin/av/"),
-		"wcs":       c.Net.Metrics().ByPrefix("coin/wcs"),
-		"recreq":    c.Net.Metrics().ByPrefix("coin/rr"),
-		"candidate": c.Net.Metrics().ByPrefix("coin/cd"),
-	}}
-	first := true
-	for _, r := range res {
-		if first {
-			out.Bit = r.Bit
-			first = false
-		} else if r.Bit != out.Bit {
-			out.Agreed = false
-		}
-		if r.Max == nil {
-			out.MaxIsSet = false
-		}
-	}
-	out.Stats = collectStats(c, rounds)
-	return out, nil
+	return inst.Outcome(), nil
 }
 
 // ABAOutcome is the result of RunABA.
@@ -169,52 +145,23 @@ func RunABA(spec RunSpec, inputs []byte, kind ABACoinKind) (ABAOutcome, error) {
 		}
 		setup, tshares = s, sh
 	}
-	outs := make(map[int]byte)
-	insts := make([]*aba.ABA, c.N)
-	rounds := 0
-	c.EachHonest(func(i int) {
-		var coins aba.CoinFactory
+	coins := func(i int) aba.CoinFactory {
 		switch kind {
-		case ABAPaperCoin:
-			coins = aba.PaperCoins(c.Net.Node(i), "aba/c", c.Keys[i], spec.coinCfg())
 		case ABATestCoin:
-			coins = aba.TestCoins(fmt.Sprint("h", spec.Seed))
+			return aba.TestCoins(fmt.Sprint("h", spec.Seed))
 		case ABALocalCoin:
-			coins = aba.AdversarialCoins(fmt.Sprint("h", spec.Seed), i)
+			return aba.AdversarialCoins(fmt.Sprint("h", spec.Seed), i)
 		case ABAThreshCoin:
-			coins = threshcoin.Factory(c.Net.Node(i), "aba/tc", setup, tshares[i])
+			return threshcoin.Factory(c.Runtime(i), "aba/tc", setup, tshares[i])
+		default:
+			return aba.PaperCoins(c.Runtime(i), "aba/c", c.Keys[i], spec.coinCfg())
 		}
-		insts[i] = aba.New(c.Net.Node(i), "aba", coins, func(b byte) {
-			outs[i] = b
-			if d := c.Net.Node(i).Depth(); d > rounds {
-				rounds = d
-			}
-		})
-	})
-	c.EachHonest(func(i int) { insts[i].Start(inputs[i]) })
-	if err := c.Net.Run(spec.steps(), func() bool { return len(outs) == c.Honest() }); err != nil {
+	}
+	inst := LaunchABA(c, "aba", inputs, coins)
+	if err := inst.Wait(context.Background()); err != nil {
 		return ABAOutcome{}, fmt.Errorf("aba run: %w", err)
 	}
-	out := ABAOutcome{Agreed: true}
-	first := true
-	total := 0
-	cnt := 0
-	c.EachHonest(func(i int) {
-		if first {
-			out.Bit = outs[i]
-			first = false
-		} else if outs[i] != out.Bit {
-			out.Agreed = false
-		}
-		total += insts[i].DecidedRound
-		cnt++
-		if insts[i].DecidedRound > out.MaxRound {
-			out.MaxRound = insts[i].DecidedRound
-		}
-	})
-	out.MeanRound = float64(total) / float64(cnt)
-	out.Stats = collectStats(c, rounds)
-	return out, nil
+	return inst.Outcome(), nil
 }
 
 // ElectionOutcome is the result of RunElection.
@@ -231,32 +178,11 @@ func RunElection(spec RunSpec) (ElectionOutcome, error) {
 	if err != nil {
 		return ElectionOutcome{}, err
 	}
-	res := make(map[int]election.Result)
-	rounds := 0
-	c.EachHonest(func(i int) {
-		e := election.New(c.Net.Node(i), "el", c.Keys[i], election.Config{Coin: spec.coinCfg()}, func(r election.Result) {
-			res[i] = r
-			if d := c.Net.Node(i).Depth(); d > rounds {
-				rounds = d
-			}
-		})
-		e.Start()
-	})
-	if err := c.Net.Run(spec.steps(), func() bool { return len(res) == c.Honest() }); err != nil {
+	inst := LaunchElection(c, "el", election.Config{Coin: spec.coinCfg()})
+	if err := inst.Wait(context.Background()); err != nil {
 		return ElectionOutcome{}, fmt.Errorf("election run: %w", err)
 	}
-	out := ElectionOutcome{Agreed: true}
-	first := true
-	for _, r := range res {
-		if first {
-			out.Leader, out.ByDefault = r.Leader, r.ByDefault
-			first = false
-		} else if r.Leader != out.Leader || r.ByDefault != out.ByDefault {
-			out.Agreed = false
-		}
-	}
-	out.Stats = collectStats(c, rounds)
-	return out, nil
+	return inst.Outcome(), nil
 }
 
 // VBAOutcome is the result of RunVBA.
@@ -274,36 +200,11 @@ func RunVBA(spec RunSpec, proposals [][]byte, valid vba.Predicate) (VBAOutcome, 
 	if err != nil {
 		return VBAOutcome{}, err
 	}
-	outs := make(map[int][]byte)
-	insts := make([]*vba.VBA, c.N)
-	rounds := 0
-	c.EachHonest(func(i int) {
-		insts[i] = vba.New(c.Net.Node(i), "vba", c.Keys[i], valid, vba.Config{Coin: spec.coinCfg()}, func(v []byte) {
-			outs[i] = v
-			if d := c.Net.Node(i).Depth(); d > rounds {
-				rounds = d
-			}
-		})
-	})
-	c.EachHonest(func(i int) { insts[i].Start(proposals[i]) })
-	if err := c.Net.Run(spec.steps(), func() bool { return len(outs) == c.Honest() }); err != nil {
+	inst := LaunchVBA(c, "vba", proposals, valid, vba.Config{Coin: spec.coinCfg()})
+	if err := inst.Wait(context.Background()); err != nil {
 		return VBAOutcome{}, fmt.Errorf("vba run: %w", err)
 	}
-	out := VBAOutcome{Agreed: true}
-	var first []byte
-	c.EachHonest(func(i int) {
-		if first == nil {
-			first = outs[i]
-		} else if string(first) != string(outs[i]) {
-			out.Agreed = false
-		}
-		if insts[i].DecidedView > out.MaxView {
-			out.MaxView = insts[i].DecidedView
-		}
-	})
-	out.Value = first
-	out.Stats = collectStats(c, rounds)
-	return out, nil
+	return inst.Outcome(), nil
 }
 
 // ADKGOutcome is the result of RunADKG.
@@ -319,34 +220,11 @@ func RunADKG(spec RunSpec) (ADKGOutcome, error) {
 	if err != nil {
 		return ADKGOutcome{}, err
 	}
-	keys := make(map[int]adkg.ThresholdKey)
-	rounds := 0
-	c.EachHonest(func(i int) {
-		a := adkg.New(c.Net.Node(i), "dkg", c.Keys[i],
-			adkg.Config{VBA: vba.Config{Coin: spec.coinCfg()}}, func(k adkg.ThresholdKey) {
-				keys[i] = k
-				if d := c.Net.Node(i).Depth(); d > rounds {
-					rounds = d
-				}
-			})
-		a.Start()
-	})
-	if err := c.Net.Run(spec.steps(), func() bool { return len(keys) == c.Honest() }); err != nil {
+	inst := LaunchADKG(c, "dkg", adkg.Config{VBA: vba.Config{Coin: spec.coinCfg()}})
+	if err := inst.Wait(context.Background()); err != nil {
 		return ADKGOutcome{}, fmt.Errorf("adkg run: %w", err)
 	}
-	out := ADKGOutcome{KeysAgree: true}
-	var ref *adkg.ThresholdKey
-	for _, k := range keys {
-		k := k
-		if ref == nil {
-			ref = &k
-			out.Contributors = k.Script.WeightCount()
-		} else if !k.GroupPK.Equal(ref.GroupPK) {
-			out.KeysAgree = false
-		}
-	}
-	out.Stats = collectStats(c, rounds)
-	return out, nil
+	return inst.Outcome(), nil
 }
 
 // BeaconOutcome is the result of RunBeacon.
@@ -364,53 +242,11 @@ func RunBeacon(spec RunSpec, epochs int) (BeaconOutcome, error) {
 	if err != nil {
 		return BeaconOutcome{}, err
 	}
-	got := make(map[int][]beacon.Epoch)
-	rounds := 0
-	c.EachHonest(func(i int) {
-		b := beacon.New(c.Net.Node(i), "bcn", c.Keys[i],
-			beacon.Config{Coin: spec.coinCfg(), Epochs: epochs}, func(e beacon.Epoch) {
-				got[i] = append(got[i], e)
-				if d := c.Net.Node(i).Depth(); d > rounds {
-					rounds = d
-				}
-			})
-		b.Start()
-	})
-	done := func() bool {
-		if len(got) < c.Honest() {
-			return false
-		}
-		for _, es := range got {
-			if len(es) < epochs {
-				return false
-			}
-		}
-		return true
-	}
-	if err := c.Net.Run(spec.steps(), done); err != nil {
+	inst := LaunchBeacon(c, "bcn", epochs, spec.coinCfg())
+	if err := inst.Wait(context.Background()); err != nil {
 		return BeaconOutcome{}, fmt.Errorf("beacon run: %w", err)
 	}
-	out := BeaconOutcome{Epochs: epochs, Agreed: true}
-	var ref []beacon.Epoch
-	totalAttempts := 0
-	for _, es := range got {
-		if ref == nil {
-			ref = es
-			for _, e := range es {
-				out.Values = append(out.Values, e.Value)
-				totalAttempts += e.Attempts
-			}
-		} else {
-			for k := range ref {
-				if es[k].Value != ref[k].Value {
-					out.Agreed = false
-				}
-			}
-		}
-	}
-	out.MeanAttempt = float64(totalAttempts) / float64(epochs)
-	out.Stats = collectStats(c, rounds)
-	return out, nil
+	return inst.Outcome(), nil
 }
 
 // SubprotocolStats measures one AVSS, WCS or Seeding instance (E9–E11).

@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -92,6 +93,49 @@ func TestLIFOAndComposeTerminate(t *testing.T) {
 	}
 	if vb.Extra["agreed"] != 1 {
 		t.Fatal("VBA disagreement under composed adversary")
+	}
+}
+
+// TestElectionTerminatesUnderLIFO: regression for the PR 1 adversary-suite
+// finding (standalone Election stalled under pure LIFO). Root cause was an
+// activation race in the embedded ABA, not the suspected seed path: under
+// LIFO every round-1 EST1/AUX1 arrives before a party derives its ballot,
+// and ABA.Start never re-evaluated the buffered round state, so the run
+// went quiescent with no party proposed. ABA.Start now replays
+// tryPropose/tryCoin after activation.
+func TestElectionTerminatesUnderLIFO(t *testing.T) {
+	for trial := 0; trial < 2; trial++ {
+		out, err := RunElection(RunSpec{
+			N: 4, F: -1, Seed: TrialSeed("e2/election", 1, trial),
+			Sched: sim.LIFOScheduler(), Steps: 5_000_000,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: election under LIFO: %v", trial, err)
+		}
+		if !out.Agreed {
+			t.Fatalf("trial %d: election disagreement under LIFO", trial)
+		}
+	}
+}
+
+// TestStallErrorNamesMissingParties: a budget-exhausted run surfaces a
+// structured *sim.StallError annotated with the parties the session layer
+// was still awaiting — LIFO-class stalls are diagnosable, not a silent
+// budget burn.
+func TestStallErrorNamesMissingParties(t *testing.T) {
+	_, err := RunCoin(RunSpec{N: 4, F: -1, Seed: 3, Steps: 5})
+	if err == nil {
+		t.Fatal("a 5-delivery budget cannot complete a coin")
+	}
+	var stall *sim.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("want *sim.StallError, got %T: %v", err, err)
+	}
+	if stall.Drained || stall.Budget != 5 {
+		t.Fatalf("want budget-exhaustion stall with budget 5, got %+v", stall)
+	}
+	if len(stall.Missing) != 4 {
+		t.Fatalf("all 4 parties should be missing, got %v", stall.Missing)
 	}
 }
 

@@ -365,4 +365,38 @@ func init() {
 		Ns: smallNs, Trials: 4, Genesis: []byte("adv"), Sched: delaySched,
 		Crash: func(n, f int) int { return f }, Where: harness.CrashSpread, Run: electionRun,
 	})
+	Register(Spec{
+		Name: "adv/election-lifo", Group: "adv", Tags: []string{"sched"},
+		Title: "Election under LIFO reordering", Claim: "terminates, agrees",
+		Ns: smallNs, Trials: 2, Sched: lifoSched, Run: electionRun,
+	})
+
+	// Concurrent-instance session suite: many protocol instances multiplexed
+	// onto ONE shared cluster (single PKI setup), under benign and
+	// adversarial scheduling. bytes-ratio asserts that per-instance
+	// accounting sums back to the cluster total. Each sweep starts at n=4
+	// because the registry bench smoke runs every spec once at its smallest
+	// size; the 8/16-party cells are the flagship scenario of the family.
+	Register(Spec{
+		Name: "mux/vba-8x", Group: "mux", Tags: []string{"session"},
+		Title: "8 concurrent VBAs, one cluster", Claim: "terminates; Σ inst ≈ total",
+		Ns: []int{4, 8, 16}, Trials: 2, Genesis: []byte("mux"), Run: muxRun(8, RunVBAMux),
+	})
+	Register(Spec{
+		Name: "mux/vba-8x-lifo", Group: "mux", Tags: []string{"session", "sched"},
+		Title: "8 concurrent VBAs under LIFO", Claim: "terminates; Σ inst ≈ total",
+		Ns: []int{4, 8}, Trials: 2, Genesis: []byte("mux"), Sched: lifoSched,
+		Run: muxRun(8, RunVBAMux),
+	})
+	Register(Spec{
+		Name: "mux/vba-8x-partition", Group: "mux", Tags: []string{"session", "sched"},
+		Title: "8 concurrent VBAs under partition-then-heal", Claim: "terminates; Σ inst ≈ total",
+		Ns: []int{4, 8}, Trials: 2, Genesis: []byte("mux"), Sched: partitionSched,
+		Run: muxRun(8, RunVBAMux),
+	})
+	Register(Spec{
+		Name: "mux/coin-16x", Group: "mux", Tags: []string{"session"},
+		Title: "16 concurrent coins (full Seeding), one cluster", Claim: "terminates; Σ inst ≈ total",
+		Ns: []int{4}, Trials: 2, Run: muxRun(16, RunCoinMux),
+	})
 }

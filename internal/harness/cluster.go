@@ -1,53 +1,91 @@
-// Package harness assembles simulated clusters — key setup (bulletin PKI),
-// network, per-node protocol wiring, crash profiles. It is shared by the
-// test suite, the testing.B benchmarks, and cmd/benchtable (see README.md
-// for the experiment index).
+// Package harness assembles long-lived keyed clusters — key setup (bulletin
+// PKI), network, per-node protocol wiring, crash profiles — over either
+// runtime: the deterministic simulator (internal/sim) or the concurrent
+// live runtime (internal/livenet). Key setup happens once per cluster; the
+// session layer (internal/exp launchers, the public repro.Cluster) then
+// multiplexes many protocol instances onto it through the proto.Driver
+// contract. It is shared by the test suite, the testing.B benchmarks, and
+// cmd/benchtable (see README.md for the experiment index).
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
+	"repro/internal/livenet"
 	"repro/internal/pki"
+	"repro/internal/proto"
 	"repro/internal/sim"
 )
 
-// Cluster is a keyed simulated network of n parties.
+// Tally is a (messages, bytes) cost pair, runtime-independent.
+type Tally struct {
+	Msgs  int64
+	Bytes int64
+}
+
+// Cluster is a keyed n-party network with per-instance cost accounting.
+// Exactly one of Net (simulator) or Live (live runtime) is non-nil;
+// runtime-agnostic code goes through the Driver methods below, while
+// sim-only measurements may keep using Net directly.
 type Cluster struct {
 	N, F  int
-	Net   *sim.Network
+	Net   *sim.Network     // non-nil on the simulator runtime
+	Live  *livenet.Network // non-nil on the live runtimes
 	Keys  []*pki.Keyring
 	Board *pki.Board
 	Byz   map[int]bool
+
+	drv     proto.Driver
+	liveDrv *livenet.Driver // non-nil on the live runtimes; fails waiters on Close
 }
 
-// Options tune cluster construction.
+// Options tune simulator cluster construction.
 type Options struct {
 	Scheduler sim.Scheduler
 	Byzantine map[int]bool // corrupted parties (crashed unless wired otherwise by the test)
 	Crash     bool         // if true, Byzantine parties are crashed outright
+	Budget    int64        // per-Await delivery budget; <= 0 = sim.DefaultDeliveryBudget
 }
 
-// NewCluster builds an n-party cluster with fresh deterministic keys.
-// f defaults to ⌊(n−1)/3⌋ when negative.
-func NewCluster(n, f int, seed int64, opts Options) (*Cluster, error) {
+// setupKeys derives the bulletin-PKI key material for an n-party cluster
+// and returns the normalized corruption bound (negative f selects
+// ⌊(n−1)/3⌋). The derivation depends only on (n, seed), so the simulator
+// and the live runtime built from the same seed hold identical keys — the
+// basis of the sim↔livenet equivalence guarantee.
+func setupKeys(n, f int, seed int64) ([]*pki.Keyring, *pki.Board, int, error) {
 	if f < 0 {
 		f = (n - 1) / 3
 	}
 	if n < 3*f+1 {
-		return nil, fmt.Errorf("harness: n=%d cannot tolerate f=%d", n, f)
+		return nil, nil, 0, fmt.Errorf("harness: n=%d cannot tolerate f=%d", n, f)
 	}
 	keyRng := rand.New(rand.NewSource(seed ^ 0x5eed))
 	keys, board, err := pki.Setup(n, keyRng)
 	if err != nil {
-		return nil, fmt.Errorf("harness: key setup: %w", err)
+		return nil, nil, 0, fmt.Errorf("harness: key setup: %w", err)
+	}
+	return keys, board, f, nil
+}
+
+// NewCluster builds an n-party simulated cluster with fresh deterministic
+// keys. f defaults to ⌊(n−1)/3⌋ when negative.
+func NewCluster(n, f int, seed int64, opts Options) (*Cluster, error) {
+	keys, board, f, err := setupKeys(n, f, seed)
+	if err != nil {
+		return nil, err
 	}
 	nw := sim.New(sim.Config{
 		N: n, F: f, Seed: seed,
 		Scheduler: opts.Scheduler,
 		Byzantine: opts.Byzantine,
 	})
-	c := &Cluster{N: n, F: f, Net: nw, Keys: keys, Board: board, Byz: opts.Byzantine}
+	c := &Cluster{
+		N: n, F: f, Net: nw, Keys: keys, Board: board, Byz: opts.Byzantine,
+		drv: sim.NewDriver(nw, opts.Budget),
+	}
 	if c.Byz == nil {
 		c.Byz = map[int]bool{}
 	}
@@ -60,6 +98,109 @@ func NewCluster(n, f int, seed int64, opts Options) (*Cluster, error) {
 	}
 	return c, nil
 }
+
+// LiveOptions tune live cluster construction.
+type LiveOptions struct {
+	Transport livenet.Transport // Channels (default) or TCP
+	Jitter    time.Duration     // Channels-transport delivery jitter
+	Timeout   time.Duration     // per-Await cap; <= 0 = livenet.DefaultAwaitTimeout
+	Crashed   map[int]bool      // crash-faulty parties
+}
+
+// NewLiveCluster builds an n-party cluster on the concurrent live runtime.
+// Key derivation matches NewCluster for the same (n, seed).
+func NewLiveCluster(n, f int, seed int64, opts LiveOptions) (*Cluster, error) {
+	keys, board, f, err := setupKeys(n, f, seed)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := livenet.New(livenet.Config{
+		N: n, F: f, Seed: seed,
+		Transport: opts.Transport,
+		Jitter:    opts.Jitter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	byz := opts.Crashed
+	if byz == nil {
+		byz = map[int]bool{}
+	}
+	for i := range byz {
+		if byz[i] {
+			nw.Node(i).Crash()
+		}
+	}
+	drv := livenet.NewDriver(nw, opts.Timeout)
+	return &Cluster{
+		N: n, F: f, Live: nw, Keys: keys, Board: board, Byz: byz,
+		drv: drv, liveDrv: drv,
+	}, nil
+}
+
+// --- session surface (proto.Driver pass-through) ---
+
+// Runtime returns party i's protocol-facing runtime.
+func (c *Cluster) Runtime(i int) proto.Runtime { return c.drv.Runtime(i) }
+
+// Launch runs fn in party i's dispatch context (inline on the simulator,
+// on the node's dispatcher goroutine on the live runtime).
+func (c *Cluster) Launch(i int, fn func()) { c.drv.Launch(i, fn) }
+
+// Update runs fn under the session lock; protocol callbacks must route
+// collector mutations through it (see proto.Driver).
+func (c *Cluster) Update(fn func()) { c.drv.Update(fn) }
+
+// Await blocks until done() holds: the simulator drives deliveries, the
+// live runtime waits on completion signals.
+func (c *Cluster) Await(ctx context.Context, done func() bool) error {
+	return c.drv.Await(ctx, done)
+}
+
+// Close releases the live runtime's goroutines and sockets and fails any
+// goroutine still blocked in Await (a closed network can never complete an
+// instance); it is a no-op on the simulator.
+func (c *Cluster) Close() {
+	if c.liveDrv != nil {
+		c.liveDrv.Close()
+	}
+	if c.Live != nil {
+		c.Live.Close()
+	}
+}
+
+// InstanceTally reports the traffic of one instance tag (the tag's own path
+// plus every tag/… sub-path) — honest traffic on the simulator, all traffic
+// on the live runtime (which has no Byzantine senders).
+func (c *Cluster) InstanceTally(tag string) Tally {
+	if c.Net != nil {
+		t := c.Net.Metrics().ByInstance(tag)
+		return Tally{Msgs: t.Msgs, Bytes: t.Bytes}
+	}
+	t := c.Live.ByInstance(tag)
+	return Tally{Msgs: t.Msgs, Bytes: t.Bytes}
+}
+
+// TotalTally reports the cluster's cumulative traffic.
+func (c *Cluster) TotalTally() Tally {
+	if c.Net != nil {
+		m := c.Net.Metrics()
+		return Tally{Msgs: m.Honest.Msgs, Bytes: m.Honest.Bytes}
+	}
+	t := c.Live.TotalTally()
+	return Tally{Msgs: t.Msgs, Bytes: t.Bytes}
+}
+
+// Steps reports simulator deliveries so far (0 on the live runtime).
+func (c *Cluster) Steps() int64 {
+	if c.Net != nil {
+		return c.Net.Steps()
+	}
+	return 0
+}
+
+// Depth reports party i's current causal depth (0 on the live runtime).
+func (c *Cluster) Depth(i int) int { return c.Runtime(i).Depth() }
 
 // Honest returns the number of non-corrupted parties.
 func (c *Cluster) Honest() int {

@@ -23,6 +23,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,7 +61,61 @@ type Network struct {
 	jmu  sync.Mutex
 	jrng *rand.Rand
 
+	mmu     sync.Mutex
+	total   Tally
+	perInst map[string]*Tally
+
 	closeOnce sync.Once
+}
+
+// Tally accumulates message and byte counts (the same accounting the
+// simulator keeps, so per-instance costs are comparable across runtimes).
+type Tally struct {
+	Msgs  int64
+	Bytes int64
+}
+
+// envelopeOverhead mirrors sim's per-message framing estimate so byte
+// tallies line up across the two runtimes.
+const envelopeOverhead = 12
+
+// record books one sent message under its instance path.
+func (nw *Network) record(inst string, bodyLen int) {
+	cost := int64(bodyLen + len(inst) + envelopeOverhead)
+	nw.mmu.Lock()
+	defer nw.mmu.Unlock()
+	nw.total.Msgs++
+	nw.total.Bytes += cost
+	t := nw.perInst[inst]
+	if t == nil {
+		t = &Tally{}
+		nw.perInst[inst] = t
+	}
+	t.Msgs++
+	t.Bytes += cost
+}
+
+// TotalTally reports all traffic sent since the network started.
+func (nw *Network) TotalTally() Tally {
+	nw.mmu.Lock()
+	defer nw.mmu.Unlock()
+	return nw.total
+}
+
+// ByInstance sums traffic whose instance path is tag itself or any
+// sub-path tag/… — one protocol instance's full footprint.
+func (nw *Network) ByInstance(tag string) Tally {
+	prefix := tag + "/"
+	var out Tally
+	nw.mmu.Lock()
+	defer nw.mmu.Unlock()
+	for inst, t := range nw.perInst {
+		if inst == tag || strings.HasPrefix(inst, prefix) {
+			out.Msgs += t.Msgs
+			out.Bytes += t.Bytes
+		}
+	}
+	return out
 }
 
 type transport interface {
@@ -103,9 +158,10 @@ func New(cfg Config) (*Network, error) {
 		return nil, errors.New("livenet: N must be positive")
 	}
 	nw := &Network{
-		n:    cfg.N,
-		f:    cfg.F,
-		jrng: rand.New(rand.NewSource(cfg.Seed ^ 0x11ff)),
+		n:       cfg.N,
+		f:       cfg.F,
+		jrng:    rand.New(rand.NewSource(cfg.Seed ^ 0x11ff)),
+		perInst: make(map[string]*Tally),
 	}
 	for i := 0; i < cfg.N; i++ {
 		nd := &Node{
@@ -214,6 +270,7 @@ func (nd *Node) Send(inst string, to int, body []byte) {
 	if to < 0 || to >= nd.nw.n {
 		return
 	}
+	nd.nw.record(inst, len(body))
 	nd.nw.tr.send(nd.idx, to, inst, body)
 }
 

@@ -13,7 +13,10 @@
 // runtimes buffer deliveries for instance paths that are not yet registered.
 package proto
 
-import "math/rand"
+import (
+	"context"
+	"math/rand"
+)
 
 // Handler consumes messages addressed to one protocol instance on one node.
 type Handler interface {
@@ -50,4 +53,33 @@ type Runtime interface {
 	Multicast(inst string, body []byte)
 	// Reject records a malformed or mis-attributed inbound message.
 	Reject()
+}
+
+// Driver is the session-level contract over a runtime: it is what lets one
+// long-lived cluster serve many concurrent protocol instances, identically
+// on the simulator and on the live runtime. Instance launchers use it in a
+// fixed pattern — wire instances with Launch, record their outputs inside
+// Update, block in Await until a completion predicate holds:
+//
+//   - Launch(i, fn) runs fn in node i's dispatch context (the simulator
+//     calls it inline; the live runtime schedules it onto the node's
+//     dispatcher goroutine). Per-node ordering of launched fns is preserved.
+//   - Update(fn) runs fn under the driver's completion lock and wakes every
+//     Await. Protocol callbacks MUST route shared-state mutations through it:
+//     on the simulator it is a plain call, on the live runtime it is the
+//     only thing making the collector safe against concurrent dispatchers.
+//   - Await(ctx, done) blocks until done() reports true, evaluating done
+//     under the same lock Update uses. The simulator implementation DRIVES
+//     the network (delivering messages until done, the budget exhausts, or
+//     the queue drains); the live implementation only waits, because nodes
+//     run on their own goroutines. Await is safe to call from multiple
+//     goroutines: concurrent simulator waiters serialize, each stepping the
+//     network until its own predicate holds.
+//
+// done() must be monotone (once true, stays true) — instance completion is.
+type Driver interface {
+	Runtime(i int) Runtime
+	Launch(i int, fn func())
+	Update(fn func())
+	Await(ctx context.Context, done func() bool) error
 }

@@ -21,6 +21,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"repro/internal/proto"
@@ -122,6 +123,18 @@ type Metrics struct {
 	PerInst  map[string]*Tally // honest traffic keyed by instance path
 	Rejected int64             // malformed/mis-attributed messages dropped by handlers
 	MaxDepth int               // largest causal depth processed
+}
+
+// ByInstance sums honest traffic whose instance path is tag itself or any
+// sub-path tag/… — one protocol instance's full footprint on a shared
+// cluster. (ByPrefix would conflate tags sharing a textual prefix.)
+func (m *Metrics) ByInstance(tag string) Tally {
+	t := m.ByPrefix(tag + "/")
+	if own := m.PerInst[tag]; own != nil {
+		t.Msgs += own.Msgs
+		t.Bytes += own.Bytes
+	}
+	return t
 }
 
 // ByPrefix sums honest traffic over instance paths with the given prefix.
@@ -298,12 +311,79 @@ func (nw *Network) run(nd *Node, env *Envelope, h Handler) {
 	nd.depth = prev
 }
 
+// DefaultDeliveryBudget is the generous per-run delivery cap used when a
+// caller does not set an explicit budget: far above what any healthy run
+// needs, so hitting it means runaway traffic, while a genuine liveness
+// failure is normally reported earlier as a drained-queue StallError.
+const DefaultDeliveryBudget int64 = 2_000_000_000
+
+// StallError reports a run that stopped before its completion predicate
+// held — either the queue drained (a liveness failure: every sent message
+// was delivered yet the protocol did not finish) or the delivery budget ran
+// out. Pending lists instance paths holding buffered messages whose handler
+// was never registered; under adversarial schedules that is usually the
+// smoking gun, naming the sub-protocol some party never activated. Missing
+// is filled by session layers that know which parties they were awaiting.
+type StallError struct {
+	Drained  bool     // queue drained with done() still false
+	Budget   int64    // the exhausted delivery budget (0 when Drained)
+	Steps    int64    // total deliveries the network had executed when the run stopped
+	InFlight int      // messages still queued (0 when Drained)
+	Pending  []string // instance paths with buffered, never-delivered messages
+	Missing  []int    // parties that had not produced output (set by callers)
+}
+
+// Error renders the stall with its diagnosis.
+func (e *StallError) Error() string {
+	msg := fmt.Sprintf("sim: queue drained after %d steps but run not done", e.Steps)
+	if !e.Drained {
+		msg = fmt.Sprintf("sim: exceeded %d steps (%d messages still in flight)", e.Budget, e.InFlight)
+	}
+	if len(e.Missing) > 0 {
+		msg += fmt.Sprintf("; no output from parties %v", e.Missing)
+	}
+	if len(e.Pending) > 0 {
+		shown := e.Pending
+		const maxShown = 8
+		suffix := ""
+		if len(shown) > maxShown {
+			suffix = fmt.Sprintf(" …+%d more", len(shown)-maxShown)
+			shown = shown[:maxShown]
+		}
+		msg += fmt.Sprintf("; messages buffered for unregistered paths %v%s", shown, suffix)
+	}
+	return msg
+}
+
+// stall builds the StallError for the current network state.
+func (nw *Network) stall(drained bool, budget int64) *StallError {
+	e := &StallError{Drained: drained, Steps: nw.steps}
+	if !drained {
+		e.Budget, e.InFlight = budget, len(nw.queue)
+	}
+	seen := map[string]bool{}
+	for _, nd := range nw.nodes {
+		for inst, buf := range nd.pending {
+			if len(buf) > 0 && !seen[inst] {
+				seen[inst] = true
+				e.Pending = append(e.Pending, inst)
+			}
+		}
+	}
+	sort.Strings(e.Pending)
+	return e
+}
+
 // Run steps the network until done() reports true, the queue drains, or
-// maxSteps deliveries have happened. It returns an error on step exhaustion
-// or on queue drain while done() is still false (a liveness-failure signal
-// for tests). A nil done means "run until quiescent", exactly like RunAll;
+// maxSteps deliveries have happened (maxSteps <= 0 selects
+// DefaultDeliveryBudget). It returns a *StallError on budget exhaustion or
+// on queue drain while done() is still false (a liveness-failure signal for
+// tests). A nil done means "run until quiescent", exactly like RunAll;
 // done() is consulted at most once per delivery.
 func (nw *Network) Run(maxSteps int64, done func() bool) error {
+	if maxSteps <= 0 {
+		maxSteps = DefaultDeliveryBudget
+	}
 	if done == nil {
 		return nw.RunAll(maxSteps)
 	}
@@ -313,10 +393,10 @@ func (nw *Network) Run(maxSteps int64, done func() bool) error {
 			return nil
 		}
 		if len(nw.queue) == 0 {
-			return fmt.Errorf("sim: queue drained after %d steps but run not done", s)
+			return nw.stall(true, maxSteps)
 		}
 		if s >= maxSteps {
-			return fmt.Errorf("sim: exceeded %d steps (%d messages still in flight)", maxSteps, len(nw.queue))
+			return nw.stall(false, maxSteps)
 		}
 		nw.Step()
 	}
@@ -330,7 +410,7 @@ func (nw *Network) RunAll(maxSteps int64) error {
 			return nil
 		}
 		if s >= maxSteps {
-			return fmt.Errorf("sim: exceeded %d steps (%d in flight)", maxSteps, len(nw.queue))
+			return nw.stall(false, maxSteps)
 		}
 		nw.Step()
 	}

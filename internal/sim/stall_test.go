@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestStallErrorReportsPendingPaths: a drained-queue stall names the
+// instance paths holding buffered messages whose handler never registered —
+// the typical signature of a sub-protocol some party never activated.
+func TestStallErrorReportsPendingPaths(t *testing.T) {
+	nw := New(Config{N: 2, Seed: 1})
+	nw.Inject(0, 1, "ghost/sub", []byte("x"))
+	err := nw.Run(100, func() bool { return false })
+	if err == nil {
+		t.Fatal("run with impossible predicate returned nil")
+	}
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("want *StallError, got %T: %v", err, err)
+	}
+	if !stall.Drained {
+		t.Fatalf("queue should have drained: %+v", stall)
+	}
+	if len(stall.Pending) != 1 || stall.Pending[0] != "ghost/sub" {
+		t.Fatalf("pending paths = %v, want [ghost/sub]", stall.Pending)
+	}
+}
+
+// TestDriverAwaitHonorsContext: cancelling the context aborts a simulator
+// Await even though messages remain deliverable.
+func TestDriverAwaitHonorsContext(t *testing.T) {
+	nw := New(Config{N: 2, Seed: 2})
+	d := NewDriver(nw, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.Await(ctx, func() bool { return false }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

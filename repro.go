@@ -6,58 +6,274 @@
 // Byzantine agreement — plus the two §7.3 applications (asynchronous DKG
 // and a DKG-free random beacon), all assuming only a bulletin PKI.
 //
-// Every entry point spins up a deterministic simulated asynchronous
-// network (n parties, up to f = ⌊(n−1)/3⌋ Byzantine, adversarial message
-// scheduling), runs one protocol to completion, and returns the outcome
-// together with the paper's cost metrics: messages, communicated bytes and
-// asynchronous rounds.
+// # Sessions: one cluster, many protocol instances
+//
+// The paper's protocols are designed to be composed and repeated — a beacon
+// runs one Election per epoch, ADKG shares n secrets at once, a replicated
+// log decides one value per slot. The API therefore centers on a long-lived
+// Cluster: key setup (the bulletin PKI) happens once in NewCluster, and the
+// cluster then serves any number of protocol invocations, each identified
+// by a caller-chosen instance tag and returned as a handle whose Wait
+// blocks for the result:
+//
+//	cluster, _ := repro.NewCluster(16, repro.WithSeed(1),
+//	    repro.WithGenesisNonce([]byte("session")))
+//	defer cluster.Close()
+//	var handles []*repro.VBAHandle
+//	for slot := 0; slot < 8; slot++ {
+//	    h, _ := cluster.Agree(fmt.Sprintf("slot%d", slot), proposals, valid)
+//	    handles = append(handles, h) // 8 VBAs run concurrently
+//	}
+//	for _, h := range handles {
+//	    res, _ := h.Wait(ctx) // res.Stats is scoped to this instance
+//	}
+//
+// Concurrent instances share one network: on the default simulated runtime
+// they interleave under the (optionally adversarial) message scheduler, and
+// on the live runtimes (WithRuntime) they run truly in parallel across
+// per-party dispatcher goroutines — over in-process queues or real TCP
+// loopback connections — with the same decisions for the same seed wherever
+// the protocol pins the outcome.
+//
+// Every result carries the paper's cost metrics of §3 (messages,
+// communicated bytes, asynchronous rounds), scoped to that instance, so
+// amortization is visible: the setup cost is paid once per cluster, not
+// once per decision.
 //
 //	res, err := repro.ElectLeader(repro.Config{N: 4, Seed: 1})
 //	// res.Leader is the same at every honest party (Theorem 5);
 //	// res.Stats.Bytes documents the expected O(λn³) communication.
 //
-// Deeper control (custom schedulers, Byzantine behaviours, sub-protocol
-// access, Table 1 baselines) lives in the internal packages; see README.md
-// for the system inventory, the experiment registry and the
-// paper-vs-measured record (go run ./cmd/benchtable).
+// The one-shot functions (FlipCoin, DecideBit, ElectLeader, Agree,
+// GenerateKey, RunBeacon) remain as thin wrappers that build a fresh
+// single-use cluster per call. Deeper control (custom schedulers, Byzantine
+// behaviours, sub-protocol access, Table 1 baselines) lives in the internal
+// packages; see README.md for the system inventory, the experiment registry
+// and the paper-vs-measured record (go run ./cmd/benchtable).
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/exp"
+	"repro/internal/harness"
+	"repro/internal/livenet"
 )
 
-// Config selects the cluster shape for a protocol run.
-type Config struct {
-	// N is the number of parties (required, ≥ 4 for f ≥ 1).
-	N int
-	// F bounds corruptions; zero or negative selects ⌊(N−1)/3⌋.
-	F int
-	// Seed drives all randomness; equal seeds replay identical executions.
-	Seed int64
-	// GenesisNonce, when non-nil, switches the coin layer to the paper's
-	// adaptively secure variant under a one-time common random string
-	// (Table 1's "PKI, 1-time rnd" row): Seeding is skipped and all VRFs
-	// run on this nonce.
-	GenesisNonce []byte
-	// Crashed makes the highest-indexed parties crash-faulty (≤ F).
-	Crashed int
+// RuntimeKind selects the network a Cluster runs on.
+type RuntimeKind int
+
+// Available runtimes.
+const (
+	// RuntimeSim is the deterministic single-threaded network simulator:
+	// adversarial scheduling, seed-exact replay, full cost accounting.
+	RuntimeSim RuntimeKind = iota
+	// RuntimeLiveChannels runs each party on its own dispatcher goroutine
+	// with in-process delivery (optionally jittered) — concurrent execution
+	// without sockets.
+	RuntimeLiveChannels
+	// RuntimeLiveTCP is RuntimeLiveChannels over real TCP loopback
+	// connections (full mesh, framed messages).
+	RuntimeLiveTCP
+)
+
+func (k RuntimeKind) String() string {
+	switch k {
+	case RuntimeSim:
+		return "sim"
+	case RuntimeLiveChannels:
+		return "livenet-channels"
+	case RuntimeLiveTCP:
+		return "livenet-tcp"
+	default:
+		return fmt.Sprintf("RuntimeKind(%d)", int(k))
+	}
 }
 
-func (c Config) spec() (exp.RunSpec, error) {
-	if c.N < 4 {
-		return exp.RunSpec{}, fmt.Errorf("repro: N=%d too small (need ≥ 4)", c.N)
+// Option tunes NewCluster.
+type Option func(*clusterOptions)
+
+type clusterOptions struct {
+	runtime RuntimeKind
+	seed    int64
+	f       int
+	genesis []byte
+	crashed int
+	sched   string
+	jitter  time.Duration
+	budget  int64
+	timeout time.Duration
+}
+
+// WithRuntime selects the runtime (default RuntimeSim).
+func WithRuntime(k RuntimeKind) Option { return func(o *clusterOptions) { o.runtime = k } }
+
+// WithSeed sets the seed driving all randomness — key generation, protocol
+// randomness, and (on the simulator) message scheduling. Equal seeds replay
+// identical simulated executions and identical key material everywhere.
+func WithSeed(seed int64) Option { return func(o *clusterOptions) { o.seed = seed } }
+
+// WithMaxFaults overrides the corruption bound f (default ⌊(n−1)/3⌋).
+func WithMaxFaults(f int) Option { return func(o *clusterOptions) { o.f = f } }
+
+// WithGenesisNonce switches every coin to the paper's adaptively secure
+// variant under a one-time common random string (Table 1's "PKI, 1-time
+// rnd" row): Seeding is skipped and all VRFs run on this nonce.
+func WithGenesisNonce(nonce []byte) Option { return func(o *clusterOptions) { o.genesis = nonce } }
+
+// WithCrashed makes the highest-indexed k parties crash-faulty (k ≤ f).
+func WithCrashed(k int) Option { return func(o *clusterOptions) { o.crashed = k } }
+
+// WithScheduler selects the simulator's message adversary by name: random,
+// fifo, lifo, delay, partition, or targeted:<inst-prefix>. Simulator only.
+func WithScheduler(name string) Option { return func(o *clusterOptions) { o.sched = name } }
+
+// WithJitter adds random delivery delay on RuntimeLiveChannels, creating
+// real asynchrony without sockets.
+func WithJitter(d time.Duration) Option { return func(o *clusterOptions) { o.jitter = d } }
+
+// WithStepBudget caps simulator deliveries per Wait (default: a generous
+// internal budget). Exhaustion surfaces as a structured stall error naming
+// the parties that produced no output.
+func WithStepBudget(steps int64) Option { return func(o *clusterOptions) { o.budget = steps } }
+
+// WithWaitTimeout caps one Wait on the live runtimes (default 2m).
+func WithWaitTimeout(d time.Duration) Option { return func(o *clusterOptions) { o.timeout = d } }
+
+// Cluster is a long-lived keyed network of n parties serving concurrent
+// protocol instances. Key setup happens once in NewCluster; every
+// subsequent invocation reuses it. Methods are safe for concurrent use;
+// handles may be awaited from separate goroutines.
+type Cluster struct {
+	n, f    int
+	kind    RuntimeKind
+	genesis []byte
+	hc      *harness.Cluster
+
+	mu     sync.Mutex
+	tags   map[string]bool
+	closed bool
+}
+
+// NewCluster builds an n-party cluster (n ≥ 4) and performs the bulletin
+// PKI setup once. Callers own the cluster and should Close it when done
+// (mandatory on the live runtimes, where it stops goroutines and sockets).
+func NewCluster(n int, opts ...Option) (*Cluster, error) {
+	o := clusterOptions{}
+	for _, opt := range opts {
+		opt(&o)
 	}
-	f := c.F
+	if n < 4 {
+		return nil, fmt.Errorf("repro: N=%d too small (need ≥ 4)", n)
+	}
+	f := o.f
 	if f <= 0 {
-		f = (c.N - 1) / 3
+		f = (n - 1) / 3
 	}
-	if c.Crashed > f {
-		return exp.RunSpec{}, fmt.Errorf("repro: %d crashed parties exceeds f=%d", c.Crashed, f)
+	if o.crashed > f {
+		return nil, fmt.Errorf("repro: %d crashed parties exceeds f=%d", o.crashed, f)
 	}
-	return exp.RunSpec{N: c.N, F: f, Seed: c.Seed, Genesis: c.GenesisNonce, Crash: c.Crashed}, nil
+	crashed := harness.Crashed(harness.CrashLast, n, o.crashed, o.seed)
+	var hc *harness.Cluster
+	var err error
+	switch o.runtime {
+	case RuntimeSim:
+		var sched exp.SchedFactory
+		if o.sched != "" {
+			if sched, err = exp.NamedSched(o.sched); err != nil {
+				return nil, err
+			}
+		}
+		hopts := harness.Options{Byzantine: crashed, Crash: true, Budget: o.budget}
+		if sched != nil {
+			hopts.Scheduler = sched(n, o.seed)
+		}
+		hc, err = harness.NewCluster(n, f, o.seed, hopts)
+	case RuntimeLiveChannels, RuntimeLiveTCP:
+		if o.sched != "" {
+			return nil, fmt.Errorf("repro: WithScheduler(%q) requires the simulator runtime", o.sched)
+		}
+		tr := livenet.Channels
+		if o.runtime == RuntimeLiveTCP {
+			tr = livenet.TCP
+		}
+		hc, err = harness.NewLiveCluster(n, f, o.seed, harness.LiveOptions{
+			Transport: tr, Jitter: o.jitter, Timeout: o.timeout, Crashed: crashed,
+		})
+	default:
+		return nil, fmt.Errorf("repro: unknown runtime %d", int(o.runtime))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		n: n, f: f, kind: o.runtime, genesis: o.genesis, hc: hc,
+		tags: make(map[string]bool),
+	}, nil
+}
+
+// N returns the party count.
+func (c *Cluster) N() int { return c.n }
+
+// F returns the corruption bound.
+func (c *Cluster) F() int { return c.f }
+
+// Runtime reports which runtime the cluster executes on.
+func (c *Cluster) Runtime() RuntimeKind { return c.kind }
+
+// Close releases the cluster (live-runtime goroutines and sockets; a no-op
+// network-wise on the simulator). Instances must not be launched after.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.hc.Close()
+}
+
+// Stats reports the cluster's cumulative traffic across every instance —
+// per-instance results carry their own scoped Stats, and the scoped values
+// sum back to this total.
+func (c *Cluster) Stats() Stats {
+	t := c.hc.TotalTally()
+	return Stats{Messages: t.Msgs, Bytes: t.Bytes, Rounds: 0}
+}
+
+// InstanceStats reports the cumulative traffic scoped to one instance tag
+// (the tag's own path plus every sub-protocol under it). Unlike the Stats
+// carried by a handle result — a snapshot taken when Wait returned — this
+// reads the live counters, which keep growing while post-decision protocol
+// tails (e.g. the ABA FINISH gadget) drain on the live runtimes.
+func (c *Cluster) InstanceStats(tag string) Stats {
+	t := c.hc.InstanceTally(tag)
+	return Stats{Messages: t.Msgs, Bytes: t.Bytes}
+}
+
+// claim reserves an instance tag. Tags name instances on the shared
+// network, so they must be unique per cluster and must not contain '/'
+// (sub-protocols append /-separated suffixes).
+func (c *Cluster) claim(tag string) error {
+	if tag == "" {
+		return errors.New("repro: empty instance tag")
+	}
+	for i := 0; i < len(tag); i++ {
+		if tag[i] == '/' {
+			return fmt.Errorf("repro: instance tag %q must not contain '/'", tag)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("repro: cluster is closed")
+	}
+	if c.tags[tag] {
+		return fmt.Errorf("repro: instance tag %q already used on this cluster", tag)
+	}
+	c.tags[tag] = true
+	return nil
 }
 
 // Stats reports a run's cost in the paper's three metrics (§3).
@@ -78,16 +294,24 @@ type CoinResult struct {
 	Stats  Stats
 }
 
-// FlipCoin runs one reasonably fair common coin (Alg. 4, Theorem 3).
-func FlipCoin(cfg Config) (CoinResult, error) {
-	spec, err := cfg.spec()
-	if err != nil {
+// CoinHandle awaits one common-coin instance.
+type CoinHandle struct{ inst *exp.CoinInstance }
+
+// FlipCoin launches one reasonably fair common coin (Alg. 4, Theorem 3)
+// under the given instance tag.
+func (c *Cluster) FlipCoin(tag string) (*CoinHandle, error) {
+	if err := c.claim(tag); err != nil {
+		return nil, err
+	}
+	return &CoinHandle{inst: exp.LaunchPaperCoin(c.hc, tag, c.genesis)}, nil
+}
+
+// Wait blocks until every honest party flipped, then reports the outcome.
+func (h *CoinHandle) Wait(ctx context.Context) (CoinResult, error) {
+	if err := h.inst.Wait(ctx); err != nil {
 		return CoinResult{}, err
 	}
-	out, err := exp.RunCoin(spec)
-	if err != nil {
-		return CoinResult{}, err
-	}
+	out := h.inst.Outcome()
 	return CoinResult{Bit: out.Bit, Agreed: out.Agreed, Stats: stats(out.Stats)}, nil
 }
 
@@ -98,20 +322,28 @@ type ABAResult struct {
 	Stats  Stats
 }
 
-// DecideBit runs one asynchronous binary agreement driven by the paper's
-// coin (Theorem 4). inputs[i] is party i's bit; len(inputs) must be N.
-func DecideBit(cfg Config, inputs []byte) (ABAResult, error) {
-	spec, err := cfg.spec()
-	if err != nil {
+// ABAHandle awaits one binary-agreement instance.
+type ABAHandle struct{ inst *exp.ABAInstance }
+
+// DecideBit launches one asynchronous binary agreement driven by the
+// paper's coin (Theorem 4). inputs[i] is party i's bit; len(inputs) must
+// be N.
+func (c *Cluster) DecideBit(tag string, inputs []byte) (*ABAHandle, error) {
+	if len(inputs) != c.n {
+		return nil, fmt.Errorf("repro: %d inputs for N=%d", len(inputs), c.n)
+	}
+	if err := c.claim(tag); err != nil {
+		return nil, err
+	}
+	return &ABAHandle{inst: exp.LaunchPaperABA(c.hc, tag, inputs, c.genesis)}, nil
+}
+
+// Wait blocks until every honest party decided, then reports the outcome.
+func (h *ABAHandle) Wait(ctx context.Context) (ABAResult, error) {
+	if err := h.inst.Wait(ctx); err != nil {
 		return ABAResult{}, err
 	}
-	if len(inputs) != cfg.N {
-		return ABAResult{}, fmt.Errorf("repro: %d inputs for N=%d", len(inputs), cfg.N)
-	}
-	out, err := exp.RunABA(spec, inputs, exp.ABAPaperCoin)
-	if err != nil {
-		return ABAResult{}, err
-	}
+	out := h.inst.Outcome()
 	if !out.Agreed {
 		return ABAResult{}, errors.New("repro: ABA agreement violated (bug)")
 	}
@@ -125,17 +357,24 @@ type ElectionResult struct {
 	Stats     Stats
 }
 
-// ElectLeader runs one leader election with perfect agreement (Alg. 5,
+// ElectionHandle awaits one leader-election instance.
+type ElectionHandle struct{ inst *exp.ElectionInstance }
+
+// ElectLeader launches one leader election with perfect agreement (Alg. 5,
 // Theorem 5).
-func ElectLeader(cfg Config) (ElectionResult, error) {
-	spec, err := cfg.spec()
-	if err != nil {
+func (c *Cluster) ElectLeader(tag string) (*ElectionHandle, error) {
+	if err := c.claim(tag); err != nil {
+		return nil, err
+	}
+	return &ElectionHandle{inst: exp.LaunchPaperElection(c.hc, tag, c.genesis)}, nil
+}
+
+// Wait blocks until every honest party elected, then reports the outcome.
+func (h *ElectionHandle) Wait(ctx context.Context) (ElectionResult, error) {
+	if err := h.inst.Wait(ctx); err != nil {
 		return ElectionResult{}, err
 	}
-	out, err := exp.RunElection(spec)
-	if err != nil {
-		return ElectionResult{}, err
-	}
+	out := h.inst.Outcome()
 	if !out.Agreed {
 		return ElectionResult{}, errors.New("repro: election agreement violated (bug)")
 	}
@@ -148,32 +387,40 @@ type VBAResult struct {
 	Stats Stats
 }
 
-// Agree runs one validated Byzantine agreement (Theorem 6): proposals[i]
-// is party i's input and valid is the external-validity predicate Q; the
-// decided value satisfies Q and was proposed by some party.
-func Agree(cfg Config, proposals [][]byte, valid func([]byte) bool) (VBAResult, error) {
-	spec, err := cfg.spec()
-	if err != nil {
-		return VBAResult{}, err
-	}
-	if len(proposals) != cfg.N {
-		return VBAResult{}, fmt.Errorf("repro: %d proposals for N=%d", len(proposals), cfg.N)
+// VBAHandle awaits one validated-agreement instance.
+type VBAHandle struct{ inst *exp.VBAInstance }
+
+// Agree launches one validated Byzantine agreement (Theorem 6):
+// proposals[i] is party i's input and valid is the external-validity
+// predicate Q; the decided value satisfies Q and was proposed by some
+// party. valid must be safe for concurrent use on the live runtimes.
+func (c *Cluster) Agree(tag string, proposals [][]byte, valid func([]byte) bool) (*VBAHandle, error) {
+	if len(proposals) != c.n {
+		return nil, fmt.Errorf("repro: %d proposals for N=%d", len(proposals), c.n)
 	}
 	if valid == nil {
-		return VBAResult{}, errors.New("repro: nil validity predicate")
+		return nil, errors.New("repro: nil validity predicate")
 	}
 	for i, p := range proposals {
-		if i >= cfg.N-cfg.Crashed && cfg.Crashed > 0 {
+		if c.hc.Byz[i] {
 			continue
 		}
 		if !valid(p) {
-			return VBAResult{}, fmt.Errorf("repro: proposal %d fails the predicate", i)
+			return nil, fmt.Errorf("repro: proposal %d fails the predicate", i)
 		}
 	}
-	out, err := exp.RunVBA(spec, proposals, valid)
-	if err != nil {
+	if err := c.claim(tag); err != nil {
+		return nil, err
+	}
+	return &VBAHandle{inst: exp.LaunchPaperVBA(c.hc, tag, proposals, valid, c.genesis)}, nil
+}
+
+// Wait blocks until every honest party decided, then reports the outcome.
+func (h *VBAHandle) Wait(ctx context.Context) (VBAResult, error) {
+	if err := h.inst.Wait(ctx); err != nil {
 		return VBAResult{}, err
 	}
+	out := h.inst.Outcome()
 	if !out.Agreed {
 		return VBAResult{}, errors.New("repro: VBA agreement violated (bug)")
 	}
@@ -186,18 +433,25 @@ type DKGResult struct {
 	Stats        Stats
 }
 
-// GenerateKey runs the asynchronous distributed key generation of §7.3:
-// all honest parties end with consistent threshold key material without
-// any trusted dealer.
-func GenerateKey(cfg Config) (DKGResult, error) {
-	spec, err := cfg.spec()
-	if err != nil {
+// DKGHandle awaits one distributed-key-generation instance.
+type DKGHandle struct{ inst *exp.ADKGInstance }
+
+// GenerateKey launches the asynchronous distributed key generation of
+// §7.3: all honest parties end with consistent threshold key material
+// without any trusted dealer.
+func (c *Cluster) GenerateKey(tag string) (*DKGHandle, error) {
+	if err := c.claim(tag); err != nil {
+		return nil, err
+	}
+	return &DKGHandle{inst: exp.LaunchPaperADKG(c.hc, tag, c.genesis)}, nil
+}
+
+// Wait blocks until every honest party holds key material.
+func (h *DKGHandle) Wait(ctx context.Context) (DKGResult, error) {
+	if err := h.inst.Wait(ctx); err != nil {
 		return DKGResult{}, err
 	}
-	out, err := exp.RunADKG(spec)
-	if err != nil {
-		return DKGResult{}, err
-	}
+	out := h.inst.Outcome()
 	if !out.KeysAgree {
 		return DKGResult{}, errors.New("repro: DKG produced inconsistent keys (bug)")
 	}
@@ -211,20 +465,27 @@ type BeaconResult struct {
 	Stats        Stats
 }
 
-// RunBeacon runs the DKG-free asynchronous random beacon of §7.3 for the
-// given number of epochs.
-func RunBeacon(cfg Config, epochs int) (BeaconResult, error) {
-	spec, err := cfg.spec()
-	if err != nil {
-		return BeaconResult{}, err
-	}
+// BeaconHandle awaits one multi-epoch beacon instance.
+type BeaconHandle struct{ inst *exp.BeaconInstance }
+
+// NewBeacon launches the DKG-free asynchronous random beacon of §7.3 for
+// the given number of epochs.
+func (c *Cluster) NewBeacon(tag string, epochs int) (*BeaconHandle, error) {
 	if epochs < 1 {
-		return BeaconResult{}, fmt.Errorf("repro: epochs=%d", epochs)
+		return nil, fmt.Errorf("repro: epochs=%d", epochs)
 	}
-	out, err := exp.RunBeacon(spec, epochs)
-	if err != nil {
+	if err := c.claim(tag); err != nil {
+		return nil, err
+	}
+	return &BeaconHandle{inst: exp.LaunchPaperBeacon(c.hc, tag, epochs, c.genesis)}, nil
+}
+
+// Wait blocks until every honest party emitted every epoch.
+func (h *BeaconHandle) Wait(ctx context.Context) (BeaconResult, error) {
+	if err := h.inst.Wait(ctx); err != nil {
 		return BeaconResult{}, err
 	}
+	out := h.inst.Outcome()
 	if !out.Agreed {
 		return BeaconResult{}, errors.New("repro: beacon values diverged (bug)")
 	}
@@ -233,4 +494,129 @@ func RunBeacon(cfg Config, epochs int) (BeaconResult, error) {
 		res.Values = append(res.Values, [16]byte(v))
 	}
 	return res, nil
+}
+
+// --- one-shot wrappers ---
+
+// Config selects the cluster shape for a one-shot protocol run (the
+// original blocking API). Each call builds a fresh single-use simulated
+// cluster; long-lived workloads should use NewCluster, which pays key
+// setup once across many instances.
+type Config struct {
+	// N is the number of parties (required, ≥ 4 for f ≥ 1).
+	N int
+	// F bounds corruptions; zero or negative selects ⌊(N−1)/3⌋.
+	F int
+	// Seed drives all randomness; equal seeds replay identical executions.
+	Seed int64
+	// GenesisNonce, when non-nil, switches the coin layer to the paper's
+	// adaptively secure variant under a one-time common random string
+	// (Table 1's "PKI, 1-time rnd" row): Seeding is skipped and all VRFs
+	// run on this nonce.
+	GenesisNonce []byte
+	// Crashed makes the highest-indexed parties crash-faulty (≤ F).
+	Crashed int
+}
+
+func (c Config) cluster() (*Cluster, error) {
+	opts := []Option{WithSeed(c.Seed), WithCrashed(c.Crashed)}
+	if c.F > 0 {
+		opts = append(opts, WithMaxFaults(c.F))
+	}
+	if c.GenesisNonce != nil {
+		opts = append(opts, WithGenesisNonce(c.GenesisNonce))
+	}
+	return NewCluster(c.N, opts...)
+}
+
+// FlipCoin runs one reasonably fair common coin (Alg. 4, Theorem 3) on a
+// fresh single-use cluster.
+func FlipCoin(cfg Config) (CoinResult, error) {
+	c, err := cfg.cluster()
+	if err != nil {
+		return CoinResult{}, err
+	}
+	defer c.Close()
+	h, err := c.FlipCoin("coin")
+	if err != nil {
+		return CoinResult{}, err
+	}
+	return h.Wait(context.Background())
+}
+
+// DecideBit runs one asynchronous binary agreement driven by the paper's
+// coin (Theorem 4). inputs[i] is party i's bit; len(inputs) must be N.
+func DecideBit(cfg Config, inputs []byte) (ABAResult, error) {
+	c, err := cfg.cluster()
+	if err != nil {
+		return ABAResult{}, err
+	}
+	defer c.Close()
+	h, err := c.DecideBit("aba", inputs)
+	if err != nil {
+		return ABAResult{}, err
+	}
+	return h.Wait(context.Background())
+}
+
+// ElectLeader runs one leader election with perfect agreement (Alg. 5,
+// Theorem 5).
+func ElectLeader(cfg Config) (ElectionResult, error) {
+	c, err := cfg.cluster()
+	if err != nil {
+		return ElectionResult{}, err
+	}
+	defer c.Close()
+	h, err := c.ElectLeader("el")
+	if err != nil {
+		return ElectionResult{}, err
+	}
+	return h.Wait(context.Background())
+}
+
+// Agree runs one validated Byzantine agreement (Theorem 6): proposals[i]
+// is party i's input and valid is the external-validity predicate Q; the
+// decided value satisfies Q and was proposed by some party.
+func Agree(cfg Config, proposals [][]byte, valid func([]byte) bool) (VBAResult, error) {
+	c, err := cfg.cluster()
+	if err != nil {
+		return VBAResult{}, err
+	}
+	defer c.Close()
+	h, err := c.Agree("vba", proposals, valid)
+	if err != nil {
+		return VBAResult{}, err
+	}
+	return h.Wait(context.Background())
+}
+
+// GenerateKey runs the asynchronous distributed key generation of §7.3:
+// all honest parties end with consistent threshold key material without
+// any trusted dealer.
+func GenerateKey(cfg Config) (DKGResult, error) {
+	c, err := cfg.cluster()
+	if err != nil {
+		return DKGResult{}, err
+	}
+	defer c.Close()
+	h, err := c.GenerateKey("dkg")
+	if err != nil {
+		return DKGResult{}, err
+	}
+	return h.Wait(context.Background())
+}
+
+// RunBeacon runs the DKG-free asynchronous random beacon of §7.3 for the
+// given number of epochs.
+func RunBeacon(cfg Config, epochs int) (BeaconResult, error) {
+	c, err := cfg.cluster()
+	if err != nil {
+		return BeaconResult{}, err
+	}
+	defer c.Close()
+	h, err := c.NewBeacon("bcn", epochs)
+	if err != nil {
+		return BeaconResult{}, err
+	}
+	return h.Wait(context.Background())
 }
