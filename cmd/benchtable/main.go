@@ -216,6 +216,12 @@ func printExtras(s exp.SpecReport) {
 	if d, ok := last.Extra["bytes-ratio"]; ok {
 		parts = append(parts, fmt.Sprintf("Σ inst/total bytes %.3f", d.Mean))
 	}
+	if d, ok := last.Extra["dedup-x"]; ok {
+		parts = append(parts, fmt.Sprintf("vrf dedup %.1f×", d.Mean))
+	}
+	if d, ok := last.Extra["vrf-verifies"]; ok {
+		parts = append(parts, fmt.Sprintf("cold verifies %.0f", d.Mean))
+	}
 	if len(parts) > 0 {
 		fmt.Printf("%-34s    · %s\n", "", strings.Join(parts, ", "))
 	}

@@ -75,12 +75,22 @@ type Coin struct {
 	recDone   map[int]bool // reconstruction finished (valid or not) for k
 	candSent  bool
 
-	candidates map[int]*Candidate // sender -> validated candidate
-	pendCands  map[int][]byte     // sender -> raw candidate awaiting a seed
-	bots       int                // X in Alg. 4: ⊥ candidates
+	candidates map[int]*Candidate   // sender -> validated candidate
+	pendCands  map[int]*pendingCand // sender -> parsed candidate awaiting its leader's seed (nil: counted ⊥)
+	bots       int                  // X in Alg. 4: ⊥ candidates
 	done       bool
 
 	started bool
+}
+
+// pendingCand is a structurally validated Candidate whose VRF check is
+// waiting for the leader's seed (Alg. 4 line 27). Parsing happens BEFORE
+// parking, so a truncated Byzantine body is rejected at receipt instead of
+// sitting in pendCands until seed arrival.
+type pendingCand struct {
+	leader int
+	out    vrf.Output
+	pf     vrf.Proof
 }
 
 // Sub-instance paths.
@@ -105,7 +115,7 @@ func New(rt proto.Runtime, inst string, keys *pki.Keyring, cfg Config, out func(
 		recOut:     make(map[int]*Candidate),
 		recDone:    make(map[int]bool),
 		candidates: make(map[int]*Candidate),
-		pendCands:  make(map[int][]byte),
+		pendCands:  make(map[int]*pendingCand),
 	}
 	rt.Register(c.rrInst(), proto.HandlerFunc(c.onRecRequest))
 	rt.Register(c.cdInst(), proto.HandlerFunc(c.onCandidate))
@@ -145,11 +155,18 @@ func (c *Coin) Seed(j int) ([seeding.SeedSize]byte, bool) {
 }
 
 // OnSeed subscribes to seed arrivals; already-known seeds are replayed
-// immediately. Election uses this to validate RBC'd VRFs.
+// immediately, in ascending party order — map-order replay would let two
+// identical (spec, seed) runs process downstream accepts in different
+// orders. Election uses this to validate RBC'd VRFs.
 func (c *Coin) OnSeed(fn func(j int, seed [seeding.SeedSize]byte)) {
 	c.seedSubs = append(c.seedSubs, fn)
-	for j, s := range c.seeds {
-		fn(j, s)
+	known := make([]int, 0, len(c.seeds))
+	for j := range c.seeds {
+		known = append(known, j)
+	}
+	sort.Ints(known)
+	for _, j := range known {
+		fn(j, c.seeds[j])
 	}
 }
 
@@ -278,7 +295,7 @@ func (c *Coin) parseAndVerify(k int, m []byte) *Candidate {
 	if !ok {
 		return nil
 	}
-	if !vrf.Verify(c.keys.Board.Parties[k].VRF, c.VRFInput(sd), out, pf) {
+	if !c.keys.VerifyVRF(k, c.VRFInput(sd), out, pf) {
 		return nil
 	}
 	return &Candidate{Leader: k, Value: out, Proof: pf}
@@ -318,7 +335,10 @@ func (c *Coin) maybeCandidate() {
 	c.rt.Multicast(c.cdInst(), w.Bytes())
 }
 
-// onCandidate is Alg. 4 lines 25–31.
+// onCandidate is Alg. 4 lines 25–31. The whole wire shape is validated
+// here — leader range, 32-byte value, full-length proof with a decodable Γ,
+// no trailing bytes — so only the VRF equation itself may be deferred to
+// seed arrival.
 func (c *Coin) onCandidate(from int, body []byte) {
 	if c.done {
 		return
@@ -342,42 +362,36 @@ func (c *Coin) onCandidate(from int, body []byte) {
 		return
 	}
 	leader := rd.Int()
-	if rd.Err() != nil || leader < 0 || leader >= c.rt.N() {
-		c.rt.Reject()
-		return
-	}
-	if _, haveSeed := c.seeds[leader]; !haveSeed && c.cfg.GenesisNonce == nil {
-		// Alg. 4 line 27: verification implicitly waits for the seed.
-		c.pendCands[from] = body
-		return
-	}
-	c.acceptCandidate(from, body)
-}
-
-// acceptCandidate validates a present candidate whose leader seed is known.
-func (c *Coin) acceptCandidate(from int, body []byte) {
-	rd := wire.NewReader(body)
-	_ = rd.Bool()
-	leader := rd.Int()
 	rb := rd.Bytes32()
 	pb := rd.Raw(vrf.ProofSize)
-	if rd.Done() != nil {
+	if rd.Done() != nil || leader < 0 || leader >= c.rt.N() {
 		c.rt.Reject()
 		return
 	}
-	var out vrf.Output
-	copy(out[:], rb)
-	pf, err := vrf.ProofFromBytes(pb)
-	if err != nil {
+	cand := &pendingCand{leader: leader}
+	copy(cand.out[:], rb)
+	var err error
+	if cand.pf, err = vrf.ProofFromBytes(pb); err != nil {
 		c.rt.Reject()
 		return
 	}
-	sd := c.seeds[leader]
-	if !vrf.Verify(c.keys.Board.Parties[leader].VRF, c.VRFInput(sd), out, pf) {
+	if _, haveSeed := c.seeds[leader]; !haveSeed {
+		// Alg. 4 line 27: the VRF check implicitly waits for the seed.
+		c.pendCands[from] = cand
+		return
+	}
+	c.acceptCandidate(from, cand)
+}
+
+// acceptCandidate runs the VRF check of a parsed candidate whose leader
+// seed is known.
+func (c *Coin) acceptCandidate(from int, cand *pendingCand) {
+	sd := c.seeds[cand.leader]
+	if !c.keys.VerifyVRF(cand.leader, c.VRFInput(sd), cand.out, cand.pf) {
 		c.rt.Reject()
 		return
 	}
-	c.candidates[from] = &Candidate{Leader: leader, Value: out, Proof: pf}
+	c.candidates[from] = &Candidate{Leader: cand.leader, Value: cand.out, Proof: cand.pf}
 	c.maybeOutput()
 }
 
@@ -390,17 +404,12 @@ func (c *Coin) revisitPending(j int) {
 	}
 	sort.Ints(froms)
 	for _, from := range froms {
-		body := c.pendCands[from]
-		if body == nil {
-			continue // counted ⊥ marker
-		}
-		rd := wire.NewReader(body)
-		_ = rd.Bool()
-		if rd.Int() != j {
-			continue
+		cand := c.pendCands[from]
+		if cand == nil || cand.leader != j {
+			continue // counted ⊥ marker, or waiting for another seed
 		}
 		delete(c.pendCands, from)
-		c.acceptCandidate(from, body)
+		c.acceptCandidate(from, cand)
 	}
 }
 

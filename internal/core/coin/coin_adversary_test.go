@@ -155,6 +155,61 @@ func TestMalformedCoinTrafficRejected(t *testing.T) {
 	}
 }
 
+// TestMalformedPendingCandidateRejectedAtReceipt: a candidate whose leader
+// seed is still unknown used to be parked in pendCands after parsing only
+// the leader field, letting a truncated Byzantine body sit unvalidated
+// until seed arrival. The full wire shape must be checked at receipt: the
+// garbage is Rejected immediately and nothing is parked.
+func TestMalformedPendingCandidateRejectedAtReceipt(t *testing.T) {
+	const n, f = 4, 1
+	byz := map[int]bool{3: true}
+	c, err := harness.NewCluster(n, f, 79, harness.Options{Byzantine: byz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeded mode, coins registered but NOT started: no seeds are known,
+	// so a well-formed candidate would have to park.
+	coins := make([]*Coin, 3)
+	for i := 0; i < 3; i++ {
+		coins[i] = New(c.Net.Node(i), "c", c.Keys[i], Config{}, func(Result) {})
+	}
+	// Truncated body: valid leader field, then garbage shorter than
+	// value ‖ proof.
+	var short wire.Writer
+	short.Bool(true)
+	short.Int(2)
+	short.Raw([]byte{0xDE, 0xAD})
+	c.Net.Inject(3, 0, "c/cd", short.Bytes())
+	// Correct length but an undecodable proof point (bad compression tag).
+	var badpf wire.Writer
+	badpf.Bool(true)
+	badpf.Int(2)
+	badpf.Bytes32(make([]byte, vrf.OutputSize))
+	pf := make([]byte, vrf.ProofSize)
+	pf[0] = 0x05
+	badpf.Raw(pf)
+	c.Net.Inject(3, 1, "c/cd", badpf.Bytes())
+	// Trailing bytes after a full candidate.
+	var trail wire.Writer
+	trail.Bool(true)
+	trail.Int(2)
+	trail.Bytes32(make([]byte, vrf.OutputSize))
+	trail.Raw(make([]byte, vrf.ProofSize))
+	trail.Byte(0xFF)
+	c.Net.Inject(3, 2, "c/cd", trail.Bytes())
+	if err := c.Net.RunAll(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Net.Metrics().Rejected; got != 3 {
+		t.Fatalf("rejected = %d at receipt, want 3", got)
+	}
+	for i, co := range coins {
+		if len(co.pendCands) != 0 {
+			t.Fatalf("node %d parked %d malformed candidates", i, len(co.pendCands))
+		}
+	}
+}
+
 // hashLen pins the seedHash output to the seed size used by deliverSeed.
 func TestSeedHashLength(t *testing.T) {
 	if got := len(seedHash([]byte("x"))); got != sha256.Size {

@@ -208,6 +208,47 @@ func TestOnSeedReplaysKnownSeeds(t *testing.T) {
 	}
 }
 
+// TestCoinSeedReplayDeterministic: replaying already-known seeds must not
+// depend on Go map iteration order — identical (spec, seed) runs would
+// otherwise process downstream election accepts in different orders and
+// could form different n−f ballots. Repeated subscriptions must observe
+// the one canonical (ascending) order every time.
+func TestCoinSeedReplayDeterministic(t *testing.T) {
+	const n, f = 7, 2
+	var ref []int
+	for run := 0; run < 8; run++ {
+		fx := setup(t, n, f, 10, Config{GenesisNonce: []byte("det")}, harness.Options{})
+		fx.startAll() // genesis mode: all n seeds known immediately
+		var order []int
+		fx.insts[0].OnSeed(func(j int, _ [32]byte) { order = append(order, j) })
+		if len(order) != n {
+			t.Fatalf("run %d: replayed %d seeds, want %d", run, len(order), n)
+		}
+		for i := 1; i < len(order); i++ {
+			if order[i-1] >= order[i] {
+				t.Fatalf("run %d: replay order %v not ascending", run, order)
+			}
+		}
+		if ref == nil {
+			ref = order
+		} else if !slicesEqual(ref, order) {
+			t.Fatalf("run %d: replay order %v differs from first run %v", run, order, ref)
+		}
+	}
+}
+
+func slicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func vrfVerify(c *harness.Cluster, cand *Candidate, input []byte) bool {
 	return vrf.Verify(c.Board.Parties[cand.Leader].VRF, input, cand.Value, cand.Proof)
 }

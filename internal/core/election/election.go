@@ -59,6 +59,7 @@ type Election struct {
 	aba  *aba.ABA
 
 	g        map[int]*entry // G: RBC slot -> validated speculative max
+	bots     map[int]bool   // RBC slots that delivered ⊥ (zero-ballot votes)
 	pend     map[int][]byte // RBC outputs waiting for the leader's seed
 	ballot   *byte
 	abaOut   *byte
@@ -75,6 +76,7 @@ func New(rt proto.Runtime, inst string, keys *pki.Keyring, cfg Config, out Outpu
 		keys: keys,
 		out:  out,
 		g:    make(map[int]*entry),
+		bots: make(map[int]bool),
 		pend: make(map[int][]byte),
 	}
 	e.coin = coin.New(rt, inst+"/c", keys, cfg.Coin, e.onCoin)
@@ -106,6 +108,15 @@ func itoa(v int) string {
 // Start activates the instance (Alg. 5 lines 1–2).
 func (e *Election) Start() { e.coin.Start() }
 
+// ForceCoinResult feeds a coin outcome directly into Alg. 5 line 3,
+// pre-empting the embedded Coin — a fault-injection hook for adversarial
+// harnesses modeling corruption beyond what honest coin runs can produce
+// (e.g. every party's speculative max forced to ⊥). The RBC and ABA
+// sub-protocols still run for real. Calling Start afterwards is allowed:
+// the coin then still runs (distributing seeds, which validation of other
+// parties' broadcasts needs) but its genuine outcome is ignored.
+func (e *Election) ForceCoinResult(r coin.Result) { e.onCoin(r) }
+
 // onCoin is Alg. 5 lines 3–4: commit the speculative largest VRF via RBC.
 func (e *Election) onCoin(res coin.Result) {
 	if e.haveVMax {
@@ -125,12 +136,26 @@ func (e *Election) onCoin(res coin.Result) {
 	e.rbcs[e.rt.Self()].Start(w.Bytes())
 }
 
-// onRBC is Alg. 5 lines 5–12: validate broadcast VRFs into G and, at
-// |G| = n−f, vote on whether a largest-and-majority VRF exists.
+// onRBC is Alg. 5 lines 5–12: validate broadcast VRFs into G and, once
+// n−f slots have resolved, vote on whether a largest-and-majority VRF
+// exists.
 func (e *Election) onRBC(j int, v []byte) {
 	rd := wire.NewReader(v)
 	if !rd.Bool() {
-		return // ⊥ broadcast: never enters G
+		if rd.Done() != nil {
+			return // malformed broadcast: not a ⊥ vote, dropped like any garbage slot
+		}
+		// ⊥ broadcast: never enters G, but it IS one of the n−f outputs
+		// Alg. 5 line 8 waits for — a zero-ballot vote. Dropping it
+		// entirely would stall the election whenever more than f slots
+		// carry ⊥ (all-⊥ speculative maxes under heavy corruption)
+		// instead of letting the parties vote 0.
+		e.bots[j] = true
+		e.maybeVote()
+		// A ⊥ vote can also complete a pending winner's (n−f)-subset as a
+		// filler slot after ABA already decided 1.
+		e.maybeFinish()
+		return
 	}
 	leader := rd.Int()
 	if rd.Err() != nil || leader < 0 || leader >= e.rt.N() {
@@ -185,7 +210,7 @@ func (e *Election) accept(j int, v []byte) {
 	if !ok {
 		return
 	}
-	if !vrf.Verify(e.keys.Board.Parties[leader].VRF, e.coin.VRFInput(sd), out, pf) {
+	if !e.keys.VerifyVRF(leader, e.coin.VRFInput(sd), out, pf) {
 		return
 	}
 	e.g[j] = &entry{leader: leader, value: out, proof: pf}
@@ -193,13 +218,14 @@ func (e *Election) accept(j int, v []byte) {
 	e.maybeFinish()
 }
 
-// maybeVote is Alg. 5 lines 8–12: at exactly n−f entries, derive the ballot.
+// maybeVote is Alg. 5 lines 8–12: once n−f slots resolved (validated
+// entries plus ⊥ votes), derive the ballot.
 func (e *Election) maybeVote() {
-	if e.ballot != nil || len(e.g) < e.rt.N()-e.rt.F() {
+	if e.ballot != nil || len(e.g)+len(e.bots) < e.rt.N()-e.rt.F() {
 		return
 	}
 	b := byte(0)
-	if e.winnerIn(e.g) != nil {
+	if e.winnerIn(e.g, len(e.bots)) != nil {
 		b = 1
 	}
 	e.ballot = &b
@@ -207,10 +233,12 @@ func (e *Election) maybeVote() {
 }
 
 // winnerIn reports the unique largest-and-majority candidate realizable in
-// some (n−f)-sized subset of g, or nil: a value v qualifies when enough
-// copies exist to form a strict majority of n−f entries and all remaining
-// slots can be filled with strictly smaller values.
-func (e *Election) winnerIn(g map[int]*entry) *entry {
+// some (n−f)-sized subset of the resolved slots, or nil: a value v
+// qualifies when enough copies exist to form a strict majority of n−f
+// entries and all remaining slots can be filled with strictly smaller
+// values — ⊥ slots (bots) rank below every real VRF, so they only ever
+// serve as fillers.
+func (e *Election) winnerIn(g map[int]*entry, bots int) *entry {
 	q := e.rt.N() - e.rt.F()
 	// Group by VRF value.
 	type grp struct {
@@ -239,7 +267,7 @@ func (e *Election) winnerIn(g map[int]*entry) *entry {
 		if m > q {
 			m = q
 		}
-		if 2*m > q && gr.count+gr.smaller >= q {
+		if 2*m > q && gr.count+gr.smaller+bots >= q {
 			return gr.ent
 		}
 	}
@@ -261,7 +289,7 @@ func (e *Election) maybeFinish() {
 		e.out(Result{Leader: 0, ByDefault: true})
 		return
 	}
-	win := e.winnerIn(e.g)
+	win := e.winnerIn(e.g, len(e.bots))
 	if win == nil {
 		return // keep waiting for G to grow (Alg. 5 line 15)
 	}

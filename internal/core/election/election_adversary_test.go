@@ -77,7 +77,7 @@ func TestWinnerInSubsetRule(t *testing.T) {
 		for slot, v := range tc.values {
 			g[slot] = &entry{leader: slot, value: mk(v)}
 		}
-		got := e.winnerIn(g)
+		got := e.winnerIn(g, 0)
 		switch {
 		case tc.want == nil && got != nil:
 			t.Errorf("%s: unexpected winner %v", tc.name, got.value[0])
@@ -115,9 +115,9 @@ func TestWinnerUniqueness(t *testing.T) {
 		// The rule must be stable under any sub-iteration order; just check
 		// the returned winner (if any) is one of the qualifying values and
 		// that re-evaluation is deterministic.
-		if w := e.winnerIn(g); w != nil {
+		if w := e.winnerIn(g, 0); w != nil {
 			winners[w.value[0]] = true
-			if w2 := e.winnerIn(g); w2 == nil || w2.value[0] != w.value[0] {
+			if w2 := e.winnerIn(g, 0); w2 == nil || w2.value[0] != w.value[0] {
 				t.Fatalf("mask %d: winnerIn not deterministic", mask)
 			}
 		}

@@ -156,3 +156,45 @@ func TestLeaderSpreadAcrossSessions(t *testing.T) {
 }
 
 func coinCfgGenesis() coin.Config { return coin.Config{GenesisNonce: []byte("election-test-genesis")} }
+
+// TestElectionTerminatesAllBots: under heavy corruption every party's
+// speculative max can be ⊥; the ⊥ RBC broadcasts must count toward the
+// n−f vote threshold of Alg. 5 line 8 as zero ballots — the election votes
+// 0 and elects the default leader instead of stalling with an empty G.
+func TestElectionTerminatesAllBots(t *testing.T) {
+	const n, f = 4, 1
+	fx := setup(t, n, f, 94, genesisCfg(), harness.Options{})
+	// Bypass the coin: every party is fed the degenerate ⊥ outcome and
+	// reliably broadcasts ⊥; RBC and ABA run for real.
+	fx.c.EachHonest(func(i int) { fx.insts[i].ForceCoinResult(coin.Result{}) })
+	if err := fx.c.Net.Run(50_000_000, func() bool { return len(fx.res) == n }); err != nil {
+		t.Fatal(err)
+	}
+	r := fx.checkAgreement(t)
+	if !r.ByDefault {
+		t.Fatal("all-⊥ election did not fall back to the default leader")
+	}
+	if r.Leader != 0 {
+		t.Fatalf("default leader = %d, want 0", r.Leader)
+	}
+}
+
+// TestElectionMixedBotsStillElects: with only f ⊥ broadcasts delivered
+// first, the remaining n−f real entries must still let the election reach
+// a ballot — ⊥ slots fill subset slots as values smaller than any VRF.
+func TestElectionMixedBotsStillElects(t *testing.T) {
+	const n, f = 4, 1
+	fx := setup(t, n, f, 95, genesisCfg(), harness.Options{})
+	fx.c.EachHonest(func(i int) {
+		if i == n-1 {
+			// One forced ⊥ max; Start still runs the coin so this party
+			// learns seeds and can validate the others' broadcasts.
+			fx.insts[i].ForceCoinResult(coin.Result{})
+		}
+		fx.insts[i].Start()
+	})
+	if err := fx.c.Net.Run(80_000_000, func() bool { return len(fx.res) == n }); err != nil {
+		t.Fatal(err)
+	}
+	fx.checkAgreement(t)
+}

@@ -1,0 +1,130 @@
+package vcache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/crypto/vrf"
+)
+
+func keypair(t *testing.T, seed int64) vrf.PrivateKey {
+	t.Helper()
+	sk, err := vrf.GenerateKey(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+func TestPositiveCaching(t *testing.T) {
+	sk := keypair(t, 1)
+	in := []byte("input")
+	out, pf := sk.Eval(in)
+	c := New()
+	for i := 0; i < 5; i++ {
+		if !c.Verify(0, sk.PK, in, out, pf) {
+			t.Fatal("valid proof rejected")
+		}
+	}
+	s := c.Stats()
+	if s.Lookups != 5 || s.Verifies != 1 || s.Hits != 4 {
+		t.Fatalf("stats = %+v, want 5 lookups / 1 verify / 4 hits", s)
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	sk := keypair(t, 2)
+	in := []byte("input")
+	out, pf := sk.Eval(in)
+	out[0] ^= 0xFF // claim the wrong output for a valid proof
+	c := New()
+	for i := 0; i < 3; i++ {
+		if c.Verify(0, sk.PK, in, out, pf) {
+			t.Fatal("invalid claim accepted")
+		}
+	}
+	s := c.Stats()
+	if s.Verifies != 1 || s.Negative != 2 {
+		t.Fatalf("stats = %+v, want 1 verify / 2 negative hits", s)
+	}
+}
+
+// TestKeyDiscriminates: every component of the memo key separates entries —
+// party index, input, output, proof, and the registered public key.
+func TestKeyDiscriminates(t *testing.T) {
+	sk, sk2 := keypair(t, 3), keypair(t, 4)
+	in, in2 := []byte("a"), []byte("b")
+	out, pf := sk.Eval(in)
+	c := New()
+	if !c.Verify(0, sk.PK, in, out, pf) {
+		t.Fatal("valid proof rejected")
+	}
+	// Different party, same everything else: cold verify, same verdict.
+	if !c.Verify(1, sk.PK, in, out, pf) {
+		t.Fatal("party 1 copy rejected")
+	}
+	// Different input: the proof no longer matches.
+	if c.Verify(0, sk.PK, in2, out, pf) {
+		t.Fatal("proof accepted for a different input")
+	}
+	// Re-registered key on the same slot: must NOT hit party 0's entry.
+	if c.Verify(0, sk2.PK, in, out, pf) {
+		t.Fatal("stale verdict after key re-registration")
+	}
+	if s := c.Stats(); s.Verifies != 4 || s.Hits != 0 {
+		t.Fatalf("stats = %+v, want 4 distinct cold verifies", s)
+	}
+}
+
+func TestSetMemoPassthrough(t *testing.T) {
+	sk := keypair(t, 5)
+	in := []byte("input")
+	out, pf := sk.Eval(in)
+	c := New()
+	c.SetMemo(false)
+	for i := 0; i < 3; i++ {
+		if !c.Verify(0, sk.PK, in, out, pf) {
+			t.Fatal("valid proof rejected")
+		}
+	}
+	if s := c.Stats(); s.Verifies != 3 || s.Hits != 0 {
+		t.Fatalf("stats = %+v, want pass-through (3 verifies)", s)
+	}
+}
+
+// TestConcurrentVerify exercises the lock discipline under -race: many
+// goroutines hammer overlapping quadruples.
+func TestConcurrentVerify(t *testing.T) {
+	sk := keypair(t, 6)
+	inputs := [][]byte{[]byte("x"), []byte("y"), []byte("z")}
+	type claim struct {
+		in  []byte
+		out vrf.Output
+		pf  vrf.Proof
+	}
+	var claims []claim
+	for _, in := range inputs {
+		out, pf := sk.Eval(in)
+		claims = append(claims, claim{in, out, pf})
+	}
+	c := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				cl := claims[(g+i)%len(claims)]
+				if !c.Verify(0, sk.PK, cl.in, cl.out, cl.pf) {
+					t.Error("valid proof rejected")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Lookups != 160 {
+		t.Fatalf("lookups = %d, want 160", s.Lookups)
+	}
+}

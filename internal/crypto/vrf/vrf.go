@@ -105,10 +105,17 @@ func (sk PrivateKey) Eval(x []byte) (Output, Proof) {
 }
 
 // Verify reports whether out is the unique VRF value of x under pk.
+//
+// Each DLEQ leg s·B − c·P is one double-scalar multiplication
+// (group.DoubleMul / BaseDoubleMul), and hashInput is memoized inside
+// group.HashToPoint — together the hot re-verification shapes of the coin
+// and election protocols pay two multiplications, not four plus a
+// hash-to-curve.
 func Verify(pk PublicKey, x []byte, out Output, pf Proof) bool {
 	hp := hashInput(x)
-	u := group.BaseMul(pf.S).Sub(pk.P.Mul(pf.C))
-	v := hp.Mul(pf.S).Sub(pf.Gamma.Mul(pf.C))
+	negC := pf.C.Neg()
+	u := group.BaseDoubleMul(pf.S, negC, pk.P)
+	v := group.DoubleMul(pf.S, hp, negC, pf.Gamma)
 	if !dleqChallenge(pk, hp, pf.Gamma, u, v).Equal(pf.C) {
 		return false
 	}

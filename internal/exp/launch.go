@@ -80,14 +80,15 @@ func (t *tracker) wait(ctx context.Context) error {
 }
 
 // stats scopes the paper's metrics to this instance's traffic (the tag
-// path and every tag/… sub-path). Steps stay cluster-global — simulator
-// deliveries are shared by every concurrent instance.
+// path and every tag/… sub-path). Steps and Verifies stay cluster-global —
+// simulator deliveries and the verifier cache are shared by every
+// concurrent instance.
 func (t *tracker) stats() Stats {
 	tl := t.c.InstanceTally(t.tag)
 	return Stats{
 		N: t.c.N, F: t.c.F,
 		Msgs: tl.Msgs, Bytes: tl.Bytes,
-		Rounds: t.rounds, Steps: t.c.Steps(),
+		Rounds: t.rounds, Steps: t.c.Steps(), Verifies: t.c.Verifies(),
 	}
 }
 

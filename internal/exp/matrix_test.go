@@ -134,7 +134,7 @@ func TestSelectResolvesNamesGroupsAndTags(t *testing.T) {
 		t.Fatalf("name select: %v %v", one, err)
 	}
 	grp, err := Select("adv")
-	if err != nil || len(grp) != 6 {
+	if err != nil || len(grp) != 7 {
 		t.Fatalf("adv group select: %d specs, err %v", len(grp), err)
 	}
 	mux, err := Select("mux")

@@ -58,7 +58,7 @@ func RunVBAMux(spec RunSpec, k int) (MuxOutcome, error) {
 		out.InstanceBytes += o.Stats.Bytes
 	}
 	tl := c.TotalTally()
-	out.Stats = Stats{N: c.N, F: c.F, Msgs: tl.Msgs, Bytes: tl.Bytes, Steps: c.Steps()}
+	out.Stats = Stats{N: c.N, F: c.F, Msgs: tl.Msgs, Bytes: tl.Bytes, Steps: c.Steps(), Verifies: c.Verifies()}
 	for _, s := range out.PerInstance {
 		if s.Rounds > out.Stats.Rounds {
 			out.Stats.Rounds = s.Rounds
@@ -90,7 +90,7 @@ func RunCoinMux(spec RunSpec, k int) (MuxOutcome, error) {
 		out.InstanceBytes += o.Stats.Bytes
 	}
 	tl := c.TotalTally()
-	out.Stats = Stats{N: c.N, F: c.F, Msgs: tl.Msgs, Bytes: tl.Bytes, Steps: c.Steps()}
+	out.Stats = Stats{N: c.N, F: c.F, Msgs: tl.Msgs, Bytes: tl.Bytes, Steps: c.Steps(), Verifies: c.Verifies()}
 	for _, s := range out.PerInstance {
 		if s.Rounds > out.Stats.Rounds {
 			out.Stats.Rounds = s.Rounds

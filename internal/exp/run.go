@@ -30,6 +30,7 @@ import (
 	"repro/internal/core/vba"
 	"repro/internal/core/wcs"
 	"repro/internal/crypto/field"
+	"repro/internal/crypto/vcache"
 	"repro/internal/harness"
 	"repro/internal/sim"
 )
@@ -41,6 +42,11 @@ type Stats struct {
 	Bytes  int64
 	Rounds int   // max causal depth at output (asynchronous rounds)
 	Steps  int64 // simulator deliveries (not a paper metric; for context)
+	// Verifies counts cold VRF verifications — P-256 work the cluster's
+	// memoizing verifier could not dedup. Like Steps it is cluster-
+	// cumulative: concurrent instances share one cache, so an instance's
+	// value is a completion-time snapshot, not an instance-scoped delta.
+	Verifies int64
 }
 
 func (s Stats) String() string {
@@ -84,7 +90,7 @@ func collectStats(c *harness.Cluster, rounds int) Stats {
 	return Stats{
 		N: c.N, F: c.F,
 		Msgs: m.Honest.Msgs, Bytes: m.Honest.Bytes,
-		Rounds: rounds, Steps: c.Net.Steps(),
+		Rounds: rounds, Steps: c.Net.Steps(), Verifies: c.Verifies(),
 	}
 }
 
@@ -322,6 +328,50 @@ func RunSeeding(spec RunSpec) (Stats, error) {
 		return Stats{}, fmt.Errorf("seeding run: %w", err)
 	}
 	return collectStats(c, rounds), nil
+}
+
+// RunVBADedup executes one validated BA and additionally reports the
+// cluster's VRF verifier-cache counters, quantifying how much P-256 work
+// the memo layer removed from the run.
+func RunVBADedup(spec RunSpec, proposals [][]byte, valid vba.Predicate) (VBAOutcome, vcache.Stats, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return VBAOutcome{}, vcache.Stats{}, err
+	}
+	inst := LaunchVBA(c, "vba", proposals, valid, vba.Config{Coin: spec.coinCfg()})
+	if err := inst.Wait(context.Background()); err != nil {
+		return VBAOutcome{}, vcache.Stats{}, fmt.Errorf("vba dedup run: %w", err)
+	}
+	return inst.Outcome(), c.VerifyStats(), nil
+}
+
+// RunElectionBots models corruption beyond what honest coin runs can
+// produce: EVERY party's speculative max is forced to ⊥ (the coin layer is
+// bypassed via ForceCoinResult; RBC and ABA run for real). Alg. 5 must
+// then vote 0 and elect the default leader rather than stall — the ⊥
+// broadcasts count toward the n−f vote threshold as zero ballots.
+func RunElectionBots(spec RunSpec) (ElectionOutcome, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return ElectionOutcome{}, err
+	}
+	ei := &ElectionInstance{t: newTracker(c, "el"), res: make(map[int]election.Result)}
+	c.EachHonest(func(i int) {
+		c.Launch(i, func() {
+			e := election.New(c.Runtime(i), "el", c.Keys[i],
+				election.Config{Coin: spec.coinCfg()}, func(r election.Result) {
+					c.Update(func() {
+						ei.res[i] = r
+						ei.t.report(i)
+					})
+				})
+			e.ForceCoinResult(coin.Result{})
+		})
+	})
+	if err := ei.Wait(context.Background()); err != nil {
+		return ElectionOutcome{}, fmt.Errorf("election bots run: %w", err)
+	}
+	return ei.Outcome(), nil
 }
 
 // BaselineKind selects a Table 1 comparator coin.

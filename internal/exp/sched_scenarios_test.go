@@ -167,3 +167,39 @@ func TestAdvSpecsRunAndReplay(t *testing.T) {
 		})
 	}
 }
+
+// TestElectionBotsVotesDefault: the all-⊥ heavy-corruption scenario behind
+// the adv/election-bots spec — every party's speculative max forced to ⊥ —
+// must terminate by voting 0 and electing the default leader at every
+// honest party (⊥ RBC outputs count toward the n−f vote threshold).
+func TestElectionBotsVotesDefault(t *testing.T) {
+	for _, n := range []int{4, 7} {
+		out, err := RunElectionBots(RunSpec{N: n, F: -1, Seed: int64(40 + n), Genesis: []byte("bots")})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !out.Agreed {
+			t.Fatalf("n=%d: honest parties disagreed", n)
+		}
+		if !out.ByDefault || out.Leader != 0 {
+			t.Fatalf("n=%d: got leader %d (default=%v), want default leader 0", n, out.Leader, out.ByDefault)
+		}
+	}
+}
+
+// TestVBADedupFactor: the registry's dedup spec must show the verifier
+// cache cutting cold VRF verifications by at least the 2× acceptance floor
+// (measured: ~9–15×).
+func TestVBADedupFactor(t *testing.T) {
+	out, err := RunNamed("dedup/vba-verifies", 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Extra["agreed"] != 1 {
+		t.Fatal("dedup VBA disagreed")
+	}
+	if x := out.Extra["dedup-x"]; x < 2 {
+		t.Fatalf("dedup factor %.2f below the 2× floor (lookups %.0f, verifies %.0f)",
+			x, out.Extra["vrf-lookups"], out.Extra["vrf-verifies"])
+	}
+}

@@ -94,6 +94,42 @@ func vbaRun(rs RunSpec) (Outcome, error) {
 	}}, nil
 }
 
+// vbaDedupRun is vbaRun plus the verifier-cache counters: vrf-lookups is
+// the VRF-check demand the protocols issued, vrf-verifies the cold P-256
+// work actually performed, dedup-x their ratio (≥ 2 is the headline).
+func vbaDedupRun(rs RunSpec) (Outcome, error) {
+	props := make([][]byte, rs.N)
+	for i := range props {
+		props[i] = []byte(fmt.Sprintf("ok:p%d", i))
+	}
+	out, vs, err := RunVBADedup(rs, props, func(v []byte) bool { return strings.HasPrefix(string(v), "ok:") })
+	if err != nil {
+		return Outcome{}, err
+	}
+	dedup := 0.0
+	if vs.Verifies > 0 {
+		dedup = float64(vs.Lookups) / float64(vs.Verifies)
+	}
+	return Outcome{Stats: out.Stats, Extra: map[string]float64{
+		"agreed":       b2f(out.Agreed),
+		"vrf-lookups":  float64(vs.Lookups),
+		"vrf-verifies": float64(vs.Verifies),
+		"dedup-x":      dedup,
+	}}, nil
+}
+
+func electionBotsRun(rs RunSpec) (Outcome, error) {
+	out, err := RunElectionBots(rs)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Stats: out.Stats, Extra: map[string]float64{
+		"agreed":     b2f(out.Agreed),
+		"by-default": b2f(out.ByDefault),
+		"leader":     float64(out.Leader),
+	}}, nil
+}
+
 func adkgRun(rs RunSpec) (Outcome, error) {
 	out, err := RunADKG(rs)
 	if err != nil {
@@ -369,6 +405,20 @@ func init() {
 		Name: "adv/election-lifo", Group: "adv", Tags: []string{"sched"},
 		Title: "Election under LIFO reordering", Claim: "terminates, agrees",
 		Ns: smallNs, Trials: 2, Sched: lifoSched, Run: electionRun,
+	})
+	Register(Spec{
+		Name: "adv/election-bots", Group: "adv", Tags: []string{"sched"},
+		Title: "Election, all-⊥ speculative maxes", Claim: "votes 0, default leader",
+		Ns: smallNs, Trials: 2, Genesis: []byte("adv"), Run: electionBotsRun,
+	})
+
+	// Verifier-cache dedup: the vcache layer must collapse the coin's n²
+	// candidate re-verifications and the election's per-RBC-slot re-checks
+	// onto cold verifies; dedup-x records the achieved reduction factor.
+	Register(Spec{
+		Name: "dedup/vba-verifies", Group: "dedup", Tags: []string{"session"},
+		Title: "VBA vrf-verify dedup factor", Claim: "≥ 2× fewer cold verifies",
+		Ns: smallNs, Trials: 2, Genesis: []byte("dedup"), Run: vbaDedupRun,
 	})
 
 	// Concurrent-instance session suite: many protocol instances multiplexed

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/crypto/vcache"
 	"repro/internal/livenet"
 	"repro/internal/pki"
 	"repro/internal/proto"
@@ -198,6 +199,20 @@ func (c *Cluster) Steps() int64 {
 	}
 	return 0
 }
+
+// VerifyStats reports the cluster's shared VRF verifier-cache counters
+// (pki.Setup hands every keyring the same memoizing verifier, so the
+// counters cover all parties on both runtimes).
+func (c *Cluster) VerifyStats() vcache.Stats {
+	if len(c.Keys) == 0 || c.Keys[0].Verifier == nil {
+		return vcache.Stats{}
+	}
+	return c.Keys[0].Verifier.Stats()
+}
+
+// Verifies reports cold VRF verifications performed cluster-wide — the
+// P-256 work the verifier cache could not dedup away.
+func (c *Cluster) Verifies() int64 { return c.VerifyStats().Verifies }
 
 // Depth reports party i's current causal depth (0 on the live runtime).
 func (c *Cluster) Depth(i int) int { return c.Runtime(i).Depth() }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/crypto/pairing"
 	"repro/internal/crypto/pvss"
 	"repro/internal/crypto/sig"
+	"repro/internal/crypto/vcache"
 	"repro/internal/crypto/vrf"
 )
 
@@ -69,6 +70,24 @@ type Keyring struct {
 	PVSSDec pvss.DecKey
 	PVSSSig pvss.SigKey
 	Board   *Board
+
+	// Verifier memoizes VRF verification verdicts. Setup hands every
+	// keyring of a cluster the SAME cache, so any runtime built from the
+	// rings — the single-threaded simulator or the concurrent livenet —
+	// shares one dedup pool; a nil Verifier (hand-built keyrings in old
+	// tests) falls back to raw verification.
+	Verifier *vcache.Cache
+}
+
+// VerifyVRF checks that (out, pf) is party's VRF evaluation on input,
+// against the key registered on the bulletin board, through the cluster's
+// memoizing verifier when present.
+func (k *Keyring) VerifyVRF(party int, input []byte, out vrf.Output, pf vrf.Proof) bool {
+	pk := k.Board.Parties[party].VRF
+	if k.Verifier == nil {
+		return vrf.Verify(pk, input, out, pf)
+	}
+	return k.Verifier.Verify(party, pk, input, out, pf)
 }
 
 // Setup generates keys for n parties from the randomness source and
@@ -76,6 +95,7 @@ type Keyring struct {
 func Setup(n int, rng io.Reader) ([]*Keyring, *Board, error) {
 	board := &Board{Parties: make([]Party, n)}
 	rings := make([]*Keyring, n)
+	verifier := vcache.New()
 	for i := 0; i < n; i++ {
 		sk, err := sig.GenerateKey(rng)
 		if err != nil {
@@ -96,6 +116,7 @@ func Setup(n int, rng io.Reader) ([]*Keyring, *Board, error) {
 		board.Parties[i] = Party{Sig: sk.PK, VRF: vk.PK, PVSSEnc: ek, PVSSVK: tk.VK}
 		rings[i] = &Keyring{
 			Self: i, Sig: sk, VRF: vk, PVSSDec: dk, PVSSSig: tk, Board: board,
+			Verifier: verifier,
 		}
 	}
 	return rings, board, nil

@@ -113,3 +113,42 @@ func TestRegisterVRFOverwritesSlot(t *testing.T) {
 		t.Fatal("RegisterVRF did not take effect")
 	}
 }
+
+// TestVerifyVRFSharedCache: every keyring of a cluster routes VerifyVRF
+// through ONE memoizing verifier, so party j's check of a quadruple makes
+// party k's identical check free; and a key re-registered on the board
+// (the corrupted-registration model) never hits a stale verdict.
+func TestVerifyVRFSharedCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rings, board, err := Setup(4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("shared-cache-input")
+	out, pf := rings[2].VRF.Eval(input)
+	for i, r := range rings {
+		if !r.VerifyVRF(2, input, out, pf) {
+			t.Fatalf("ring %d rejected a valid evaluation", i)
+		}
+	}
+	s := rings[0].Verifier.Stats()
+	if s.Verifies != 1 || s.Hits != 3 {
+		t.Fatalf("stats = %+v, want 1 cold verify + 3 shared hits", s)
+	}
+	// Re-register slot 2 with a ground key: the old proof must now fail,
+	// not hit the cached positive verdict.
+	ground, err := vrf.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	board.RegisterVRF(2, ground.PK)
+	if rings[0].VerifyVRF(2, input, out, pf) {
+		t.Fatal("stale cache hit after VRF key re-registration")
+	}
+	// A nil verifier degrades to raw verification.
+	bare := &Keyring{Board: board}
+	gout, gpf := ground.Eval(input)
+	if !bare.VerifyVRF(2, input, gout, gpf) {
+		t.Fatal("nil-verifier keyring rejected a valid evaluation")
+	}
+}

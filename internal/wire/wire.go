@@ -40,8 +40,16 @@ func (w *Writer) Uint32(v uint32) {
 	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
 }
 
-// Int appends a non-negative int as uint32.
-func (w *Writer) Int(v int) { w.Uint32(uint32(v)) }
+// Int appends a non-negative int as uint32. Negative input panics: the
+// silent uint32 wrap-around would decode as a huge index on the far side,
+// and every caller writes slot/party indexes that are non-negative by
+// construction.
+func (w *Writer) Int(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("wire: Int(%d) is negative", v))
+	}
+	w.Uint32(uint32(v))
+}
 
 // Uint64 appends a big-endian uint64.
 func (w *Writer) Uint64(v uint64) {

@@ -122,3 +122,13 @@ func TestBytes32Panics(t *testing.T) {
 	var w Writer
 	w.Bytes32([]byte{1, 2})
 }
+
+func TestIntPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int did not panic on negative input")
+		}
+	}()
+	var w Writer
+	w.Int(-1)
+}

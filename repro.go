@@ -239,7 +239,7 @@ func (c *Cluster) Close() {
 // sum back to this total.
 func (c *Cluster) Stats() Stats {
 	t := c.hc.TotalTally()
-	return Stats{Messages: t.Msgs, Bytes: t.Bytes, Rounds: 0}
+	return Stats{Messages: t.Msgs, Bytes: t.Bytes, Rounds: 0, Verifies: c.hc.Verifies()}
 }
 
 // InstanceStats reports the cumulative traffic scoped to one instance tag
@@ -276,15 +276,22 @@ func (c *Cluster) claim(tag string) error {
 	return nil
 }
 
-// Stats reports a run's cost in the paper's three metrics (§3).
+// Stats reports a run's cost in the paper's three metrics (§3), plus the
+// crypto-work counter of the memoizing VRF verifier.
 type Stats struct {
 	Messages int64 // messages sent by honest parties
 	Bytes    int64 // wire-encoded bytes of those messages
 	Rounds   int   // asynchronous rounds (causal depth) to the last output
+	// Verifies counts cold VRF verifications — the P-256 scalar
+	// multiplications the cluster's verifier cache could not dedup away.
+	// The cache is shared by all instances of a cluster, so like the
+	// delivery count this is cluster-cumulative: an instance result holds
+	// a completion-time snapshot, not an instance-scoped delta.
+	Verifies int64
 }
 
 func stats(s exp.Stats) Stats {
-	return Stats{Messages: s.Msgs, Bytes: s.Bytes, Rounds: s.Rounds}
+	return Stats{Messages: s.Msgs, Bytes: s.Bytes, Rounds: s.Rounds, Verifies: s.Verifies}
 }
 
 // CoinResult is the outcome of FlipCoin.

@@ -119,3 +119,24 @@ func TestSeededModeWorksThroughFacade(t *testing.T) {
 		t.Fatal("no traffic")
 	}
 }
+
+// TestCoinVerifyDedupBudget guards the verifier-cache dedup: one 16-party
+// coin must perform at most n + O(1) distinct (cold) VRF verifications —
+// the n core reconstructions plus a handful of distinct candidate maxes.
+// Without dedup the candidate phase alone re-verifies per sender (n², ~256
+// here), so any regression trips the budget immediately. Measured: exactly
+// 16 cold verifies in both seeded and genesis modes.
+func TestCoinVerifyDedupBudget(t *testing.T) {
+	const n, budget = 16, 16 + 4
+	res, err := FlipCoin(Config{N: n, Seed: 1, GenesisNonce: []byte("dedup-budget")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Verifies > budget {
+		t.Fatalf("16-party coin performed %d cold VRF verifies, budget %d (n + O(1)) — dedup regressed",
+			res.Stats.Verifies, budget)
+	}
+	if res.Stats.Verifies == 0 {
+		t.Fatal("verifies counter not wired — a coin run cannot verify nothing")
+	}
+}
