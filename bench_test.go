@@ -21,8 +21,13 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"math/rand"
 	"testing"
 
+	"repro/internal/crypto/field"
+	"repro/internal/crypto/pairing"
+	"repro/internal/crypto/pvss"
+	"repro/internal/crypto/scache"
 	"repro/internal/crypto/vcache"
 	"repro/internal/exp"
 	"repro/internal/harness"
@@ -203,4 +208,137 @@ func BenchmarkMatrixEngine(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPVSSVerify compares the two PVSS script verifiers on a 7-party
+// aggregate of n−f dealer contributions: the batched VrfyScript (one
+// random-linear-combination multi-pairing identity — n+2 Miller loops
+// sharing one final exponentiation, plus one closing pairing) against the
+// sequential VrfyScriptSlow (2n+2 standalone pairings). The pairing cost
+// model is enabled so the simulated group reflects the real cost hierarchy
+// (a pairing dwarfs the RLC's exponentiations; see pairing.SetCostModel);
+// the custom units report the work shape the batching changes:
+//
+//	millers/op      Miller-loop evaluations per verification
+//	finalexps/op    final exponentiations per verification
+//
+// The wall-clock ns/op ratio between the two sub-benchmarks is the headline
+// (≥ 2× for the batched path at n=7).
+func BenchmarkPVSSVerify(b *testing.B) {
+	const n = 7
+	f := (n - 1) / 3
+	rng := rand.New(rand.NewSource(1))
+	p := pvss.Params{N: n, Degree: f}
+	var eks []pvss.EncKey
+	var sks []pvss.SigKey
+	var vks []pairing.G1
+	for i := 0; i < n; i++ {
+		ek, _, err := pvss.GenerateEncKey(rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sk, err := pvss.GenerateSigKey(rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eks, sks, vks = append(eks, ek), append(sks, sk), append(vks, sk.VK)
+	}
+	var agg *pvss.Script
+	for d := 0; d < n-f; d++ {
+		s, err := pvss.Deal(p, eks, d, sks[d], field.MustRandom(rng), rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg == nil {
+			agg = s
+		} else if agg, err = pvss.AggScripts(agg, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pairing.SetCostModel(true)
+	defer pairing.SetCostModel(false)
+	for _, mode := range []struct {
+		name   string
+		verify func() bool
+	}{
+		{"batched", func() bool { return pvss.VrfyScript(p, eks, vks, agg) }},
+		{"sequential", func() bool { return pvss.VrfyScriptSlow(p, eks, vks, agg) }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			before := pairing.Snapshot()
+			for i := 0; i < b.N; i++ {
+				if !mode.verify() {
+					b.Fatal("honest aggregate rejected")
+				}
+			}
+			d := pairing.Snapshot()
+			b.ReportMetric(float64(d.Millers-before.Millers)/float64(b.N), "millers/op")
+			b.ReportMetric(float64(d.FinalExps-before.FinalExps)/float64(b.N), "finalexps/op")
+		})
+	}
+}
+
+// BenchmarkADKGBatch quantifies the PVSS verification subsystem end to end:
+// one full 7-party ADKG per iteration, once with the cluster script memo
+// (plus the compositional aggregate fast path) and once as a counting
+// pass-through. Custom units mirror BenchmarkVerifyDedup for the script
+// layer:
+//
+//	script-lookups/op   script checks the protocols demanded
+//	script-verifies/op  cold batched verifications actually performed
+//	dedup-x/op          their ratio (≥ n is the acceptance floor)
+//	millers/op          Miller loops per run — the pairing work axis
+func BenchmarkADKGBatch(b *testing.B) {
+	const n = 7
+	for _, mode := range []struct {
+		name string
+		memo bool
+	}{{"memoized", true}, {"no-cache", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var ss scache.Stats
+			before := pairing.Snapshot()
+			for i := 0; i < b.N; i++ {
+				c, err := harness.NewCluster(n, -1, int64(i)+1, harness.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Keys[0].Scripts.SetMemo(mode.memo)
+				inst := exp.LaunchPaperADKG(c, "dkg", []byte("dedup"))
+				if err := inst.Wait(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				ss = c.ScriptVerifyStats()
+			}
+			d := pairing.Snapshot()
+			b.ReportMetric(float64(ss.Lookups), "script-lookups/op")
+			b.ReportMetric(float64(ss.Verifies), "script-verifies/op")
+			if ss.Verifies > 0 {
+				b.ReportMetric(float64(ss.Lookups)/float64(ss.Verifies), "dedup-x/op")
+			}
+			b.ReportMetric(float64(d.Millers-before.Millers)/float64(b.N), "millers/op")
+		})
+	}
+}
+
+// BenchmarkADKGAtScale runs the e7/adkg registry spec at the top of its
+// sweep (n=16) — the size the PVSS batching + memoization work unlocked;
+// CI's bench smoke executes it once per run as the scale gate.
+func BenchmarkADKGAtScale(b *testing.B) {
+	spec, ok := exp.Lookup("e7/adkg")
+	if !ok {
+		b.Fatal("e7/adkg not registered")
+	}
+	n := spec.Ns[len(spec.Ns)-1]
+	b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+		var last exp.Outcome
+		for i := 0; i < b.N; i++ {
+			out, err := exp.RunNamed("e7/adkg", n, i, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = out
+		}
+		reportOutcome(b, last)
+		b.ReportMetric(float64(last.Stats.ScriptVerifies), "script-verifies/op")
+	})
 }

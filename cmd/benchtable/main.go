@@ -217,10 +217,13 @@ func printExtras(s exp.SpecReport) {
 		parts = append(parts, fmt.Sprintf("Σ inst/total bytes %.3f", d.Mean))
 	}
 	if d, ok := last.Extra["dedup-x"]; ok {
-		parts = append(parts, fmt.Sprintf("vrf dedup %.1f×", d.Mean))
+		parts = append(parts, fmt.Sprintf("dedup %.1f×", d.Mean))
 	}
 	if d, ok := last.Extra["vrf-verifies"]; ok {
-		parts = append(parts, fmt.Sprintf("cold verifies %.0f", d.Mean))
+		parts = append(parts, fmt.Sprintf("cold vrf verifies %.0f", d.Mean))
+	}
+	if d, ok := last.Extra["script-verifies"]; ok {
+		parts = append(parts, fmt.Sprintf("cold script verifies %.0f", d.Mean))
 	}
 	if len(parts) > 0 {
 		fmt.Printf("%-34s    · %s\n", "", strings.Join(parts, ", "))

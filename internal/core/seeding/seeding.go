@@ -166,7 +166,7 @@ func (s *Seeding) onScript(from int, rd *wire.Reader) {
 		return
 	}
 	script, err := pvss.FromBytes(s.params, raw)
-	if err != nil || !pvss.VrfyScript(s.params, s.keys.Board.EncKeys(), s.keys.Board.PVSSVKs(), script) {
+	if err != nil || !s.keys.VerifyScript(s.params, script) {
 		s.rt.Reject()
 		return
 	}
@@ -203,8 +203,11 @@ func (s *Seeding) onAggPvss(from int, rd *wire.Reader) {
 		s.rt.Reject()
 		return
 	}
+	// Through the cluster memo: the leader's aggregate is one multicast
+	// verified by every party — one cold verification cluster-wide, n−1
+	// hits.
 	script, err := pvss.FromBytes(s.params, raw)
-	if err != nil || !pvss.VrfyScript(s.params, s.keys.Board.EncKeys(), s.keys.Board.PVSSVKs(), script) {
+	if err != nil || !s.keys.VerifyScript(s.params, script) {
 		s.rt.Reject()
 		return
 	}

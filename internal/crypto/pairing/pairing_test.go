@@ -119,3 +119,70 @@ func TestRandomG1(t *testing.T) {
 		t.Fatal("two random G1 elements collided")
 	}
 }
+
+func TestMultiPairMatchesPairProduct(t *testing.T) {
+	r := testRand(7)
+	for _, k := range []int{1, 2, 5, 16} {
+		as := make([]G1, k)
+		bs := make([]G2, k)
+		want := GT{}
+		for i := range as {
+			as[i] = G1Generator().Exp(field.MustRandom(r))
+			bs[i] = G2Generator().Exp(field.MustRandom(r))
+			want = want.Mul(Pair(as[i], bs[i]))
+		}
+		if got := MultiPair(as, bs); !got.Equal(want) {
+			t.Fatalf("k=%d: MultiPair != ∏ Pair", k)
+		}
+	}
+}
+
+func TestMultiPairEmptyIsIdentity(t *testing.T) {
+	if !MultiPair(nil, nil).Equal(GT{}) {
+		t.Fatal("empty product is not the GT identity")
+	}
+}
+
+func TestMultiPairLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MultiPair(make([]G1, 2), make([]G2, 3))
+}
+
+// TestPairingCounters pins the cost accounting the PVSS benchmarks report:
+// a Pair is one Miller loop + one final exponentiation; a k-term MultiPair
+// is k Miller loops sharing ONE final exponentiation.
+func TestPairingCounters(t *testing.T) {
+	before := Snapshot()
+	Pair(G1Generator(), G2Generator())
+	MultiPair(make([]G1, 5), make([]G2, 5))
+	d := Snapshot()
+	if got := d.Millers - before.Millers; got != 6 {
+		t.Fatalf("Millers delta = %d, want 6", got)
+	}
+	if got := d.FinalExps - before.FinalExps; got != 2 {
+		t.Fatalf("FinalExps delta = %d, want 2", got)
+	}
+}
+
+// TestCostModelPreservesResults asserts the opt-in cost model performs no
+// observable computation: identical pairing values with the model on and
+// off.
+func TestCostModelPreservesResults(t *testing.T) {
+	r := testRand(9)
+	a := G1Generator().Exp(field.MustRandom(r))
+	b := G2Generator().Exp(field.MustRandom(r))
+	off := Pair(a, b)
+	offM := MultiPair([]G1{a, a}, []G2{b, b})
+	SetCostModel(true)
+	defer SetCostModel(false)
+	if !Pair(a, b).Equal(off) {
+		t.Fatal("cost model changed Pair result")
+	}
+	if !MultiPair([]G1{a, a}, []G2{b, b}).Equal(offM) {
+		t.Fatal("cost model changed MultiPair result")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/crypto/field"
 	"repro/internal/crypto/pairing"
@@ -229,39 +230,87 @@ func AggScripts(a, b *Script) (*Script, error) {
 	return out, nil
 }
 
-// VrfyScript runs the full public validity check of Alg. 6: shape, the
-// Schwartz–Zippel degree test at a Fiat–Shamir point, the pairing checks
-// e(F₀,û1)=e(g1,û2) and e(g1,Ŷ_j)=e(A_j,ek_j), per-dealer SoK tags, and
-// Π C_i^{w_i} = F₀.
+// VrfyScript runs the full public validity check of Alg. 6 in batched form:
+// shape, the Schwartz–Zippel degree test at a Fiat–Shamir point, per-dealer
+// SoK tags, and then the entire remaining algebra — the n per-share checks
+// e(g1,Ŷ_j)=e(A_j,ek_j), the secret-binding check e(F₀,û1)=e(g1,û2), and the
+// weighted dealer-commitment product Π C_i^{w_i} = F₀ — collapsed into ONE
+// random-linear-combination multi-pairing identity:
+//
+//	∏_j e(A_j^{r_j}, ek_j) · e(F₀^{r_u}, û1) · e((ΠC_i^{w_i}·F₀⁻¹)^{r_c}, û1)
+//	    == e(g1, ∏_j Ŷ_j^{r_j} · û2^{r_u})
+//
+// with coefficients r_j, r_u, r_c derived Fiat–Shamir style from the script,
+// the encryption keys and the tag keys. A script failing ANY folded equation
+// passes the combined check only if the induced linear relation over the
+// independent coefficients vanishes — probability 1/q per coefficient
+// (Schwartz–Zippel over Z_q, |q| ≈ 2²⁵⁶), and the adversary cannot steer the
+// coefficients because they bind the full transcript. This turns the 2n+2
+// standalone pairings of the sequential path into n+2 Miller loops sharing
+// one final exponentiation plus a single closing pairing; VrfyScriptSlow
+// keeps the unbatched path for differential testing.
+//
+// The SoK tags are the one component that cannot fold into the product: the
+// (c, s) encoding pins each challenge to its recomputed commitment
+// R_i = g1^{s_i}·vk_i^{-c_i} through the hash c_i = H(m_i‖vk_i‖R_i), so every
+// R_i must be evaluated individually (the known limitation of hash-bound
+// Schnorr; batchable variants carry (R, s) on the wire, which would change
+// the transcript format). What does batch is their group work: sokVerifyAll
+// computes all R_i in one fixed-base pass and the Π C_i^{w_i} consistency
+// equation rides in the pairing product above.
 func VrfyScript(p Params, eks []EncKey, vks []pairing.G1, s *Script) bool {
 	if s == nil || err(p, eks, s) != nil || len(vks) != p.N {
 		return false
 	}
-	g1, h1 := pairing.G1Generator(), pairing.G2Generator()
-	_ = h1
-	// Degree check: interpolate the A_i through a random point and compare
-	// against the coefficient commitments. α is derived by hashing the
-	// script so verification stays non-interactive.
-	alpha := field.FromBytes(s.digest())
-	xs := make([]field.Scalar, p.N)
-	for i := range xs {
-		xs[i] = poly.X(i)
-	}
-	lag, lerr := poly.LagrangeCoeffs(xs, alpha)
-	if lerr != nil {
+	if !degreeCheck(p, s) {
 		return false
 	}
-	lhs := pairing.G1{}
-	for i, a := range s.A {
-		lhs = lhs.Mul(a.Exp(lag[i]))
+	if !sokVerifyAll(p, vks, s) {
+		return false
 	}
-	rhs := pairing.G1{}
-	pow := field.One()
-	for _, fk := range s.F {
-		rhs = rhs.Mul(fk.Exp(pow))
-		pow = pow.Mul(alpha)
+	g1 := pairing.G1Generator()
+	r := rlcCoeffs(p, eks, vks, s)
+	// LHS terms: n per-share legs, the û1 leg, and the C-product leg.
+	lhsA := make([]pairing.G1, 0, p.N+2)
+	lhsB := make([]pairing.G2, 0, p.N+2)
+	for j := 0; j < p.N; j++ {
+		lhsA = append(lhsA, s.A[j].Exp(r[j]))
+		lhsB = append(lhsB, eks[j].E)
 	}
-	if !lhs.Equal(rhs) {
+	ru, rc := r[p.N], r[p.N+1]
+	lhsA = append(lhsA, s.F[0].Exp(ru))
+	lhsB = append(lhsB, u1)
+	prod := pairing.G1{}
+	for i := 0; i < p.N; i++ {
+		if s.W[i] != 0 {
+			prod = prod.Mul(s.C[i].Exp(field.FromUint64(uint64(s.W[i]))))
+		}
+	}
+	lhsA = append(lhsA, prod.Mul(s.F[0].Inv()).Exp(rc))
+	lhsB = append(lhsB, u1)
+	// RHS collapses to a single pairing: every folded equation's right side
+	// shares the base g1, so ∏ e(g1, Ŷ_j^{r_j})·e(g1, û2^{r_u}) =
+	// e(g1, ∏ Ŷ_j^{r_j}·û2^{r_u}); the C-product leg's right side is the
+	// identity.
+	rhsG2 := s.U2.Exp(ru)
+	for j := 0; j < p.N; j++ {
+		rhsG2 = rhsG2.Mul(s.Y[j].Exp(r[j]))
+	}
+	return pairing.MultiPair(lhsA, lhsB).Equal(pairing.Pair(g1, rhsG2))
+}
+
+// VrfyScriptSlow is the sequential reference verifier: every pairing check
+// of Alg. 6 executed as written, one standalone pairing equation at a time
+// (2n+2 pairings). It is semantically equivalent to the batched VrfyScript —
+// the differential property test asserts accept-iff-accept over honest and
+// adversarial scripts — and exists for that test plus cost-comparison
+// benchmarks.
+func VrfyScriptSlow(p Params, eks []EncKey, vks []pairing.G1, s *Script) bool {
+	if s == nil || err(p, eks, s) != nil || len(vks) != p.N {
+		return false
+	}
+	g1 := pairing.G1Generator()
+	if !degreeCheck(p, s) {
 		return false
 	}
 	// e(F0, û1) == e(g1, û2)
@@ -288,6 +337,80 @@ func VrfyScript(p Params, eks []EncKey, vks []pairing.G1, s *Script) bool {
 	return prod.Equal(s.F[0])
 }
 
+// degreeCheck is the Schwartz–Zippel degree test shared by both verifiers:
+// interpolate the A_i through a random point and compare against the
+// coefficient commitments. α is derived by hashing the script so
+// verification stays non-interactive.
+func degreeCheck(p Params, s *Script) bool {
+	alpha := field.FromBytes(s.digest())
+	xs := make([]field.Scalar, p.N)
+	for i := range xs {
+		xs[i] = poly.X(i)
+	}
+	lag, lerr := poly.LagrangeCoeffs(xs, alpha)
+	if lerr != nil {
+		return false
+	}
+	lhs := pairing.G1{}
+	for i, a := range s.A {
+		lhs = lhs.Mul(a.Exp(lag[i]))
+	}
+	rhs := pairing.G1{}
+	pow := field.One()
+	for _, fk := range s.F {
+		rhs = rhs.Mul(fk.Exp(pow))
+		pow = pow.Mul(alpha)
+	}
+	return lhs.Equal(rhs)
+}
+
+// sokVerifyAll checks every non-zero-weight dealer tag in one pass. The
+// commitments R_i = g1^{s_i}·vk_i^{-c_i} are all recomputed against the same
+// fixed base g1 (one batched fixed-base multi-exponentiation in a real
+// group); the challenge hashes remain per-tag — see the VrfyScript comment.
+func sokVerifyAll(p Params, vks []pairing.G1, s *Script) bool {
+	for i := 0; i < p.N; i++ {
+		if s.W[i] == 0 {
+			continue
+		}
+		if !sokVerify(vks[i], s.C[i], i, s.Sg[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// rlcCoeffs derives the p.N+2 random-linear-combination coefficients of the
+// batched verifier: one per share leg, one for the û2 leg (index n), one for
+// the dealer-commitment-product leg (index n+1). The seed binds the FULL
+// transcript — every script component via Bytes(), the encryption keys and
+// the tag verification keys — so a malicious dealer fixes its script before
+// the coefficients exist (Fiat–Shamir), and a re-keyed board yields fresh
+// coefficients.
+func rlcCoeffs(p Params, eks []EncKey, vks []pairing.G1, s *Script) []field.Scalar {
+	h := sha256.New()
+	h.Write([]byte("pvss/rlc"))
+	h.Write(s.Bytes())
+	for _, ek := range eks {
+		h.Write(ek.E.Bytes())
+	}
+	for _, vk := range vks {
+		h.Write(vk.Bytes())
+	}
+	seed := h.Sum(nil)
+	r := make([]field.Scalar, p.N+2)
+	var ctr [4]byte
+	for j := range r {
+		ctr[0], ctr[1], ctr[2], ctr[3] = byte(j>>24), byte(j>>16), byte(j>>8), byte(j)
+		hj := sha256.New()
+		hj.Write([]byte("pvss/rlc-coeff"))
+		hj.Write(seed)
+		hj.Write(ctr[:])
+		r[j] = field.FromBytes(hj.Sum(nil))
+	}
+	return r
+}
+
 func err(p Params, eks []EncKey, s *Script) error {
 	if len(s.F) != p.Degree+1 || len(s.A) != p.N || len(s.Y) != p.N ||
 		len(s.C) != p.N || len(s.W) != p.N || len(s.Sg) != p.N || len(eks) != p.N {
@@ -311,19 +434,24 @@ func VrfyShare(i int, sh pairing.G2, s *Script) bool {
 }
 
 // AggShares Lagrange-interpolates degree+1 verified shares in the exponent,
-// recovering the committed secret S = ĥ1^{F(0)} (Alg. 6 AggShares).
+// recovering the committed secret S = ĥ1^{F(0)} (Alg. 6 AggShares). The
+// degree+1 interpolation shares are selected in sorted party order — not Go
+// map order — so the chosen subset, and with it every downstream transcript
+// byte, is a deterministic function of the share set.
 func AggShares(p Params, shares map[int]pairing.G2) (pairing.G2, error) {
 	if len(shares) < p.Degree+1 {
 		return pairing.G2{}, fmt.Errorf("pvss: %d shares, need %d", len(shares), p.Degree+1)
 	}
+	order := make([]int, 0, len(shares))
+	for i := range shares {
+		order = append(order, i)
+	}
+	sort.Ints(order)
 	xs := make([]field.Scalar, 0, p.Degree+1)
 	vals := make([]pairing.G2, 0, p.Degree+1)
-	for i, sh := range shares {
+	for _, i := range order[:p.Degree+1] {
 		xs = append(xs, poly.X(i))
-		vals = append(vals, sh)
-		if len(xs) == p.Degree+1 {
-			break
-		}
+		vals = append(vals, shares[i])
 	}
 	lag, err := poly.LagrangeCoeffs(xs, field.Zero())
 	if err != nil {

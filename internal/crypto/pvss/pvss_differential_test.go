@@ -1,0 +1,251 @@
+package pvss
+
+// Differential property suite for the batched verifier: VrfyScript (one
+// random-linear-combination multi-pairing identity) must accept EXACTLY the
+// scripts the sequential Alg. 6 reference VrfyScriptSlow accepts — over
+// honest single-dealer scripts, honest aggregates, and a catalogue of
+// adversarial maulings designed to violate exactly one folded equation at a
+// time. Any divergence is a soundness hole (batched accepts what slow
+// rejects: the RLC has a false accept) or a completeness bug (batched
+// rejects honest scripts).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/crypto/field"
+	"repro/internal/crypto/pairing"
+)
+
+// agree asserts the two verifiers return the same verdict and returns it.
+func agree(t *testing.T, fx *fixture, s *Script, label string) bool {
+	t.Helper()
+	fast := VrfyScript(fx.p, fx.eks, fx.vks, s)
+	slow := VrfyScriptSlow(fx.p, fx.eks, fx.vks, s)
+	if fast != slow {
+		t.Fatalf("%s: batched=%v sequential=%v — verifiers diverge", label, fast, slow)
+	}
+	return fast
+}
+
+// mustReject asserts both verifiers reject.
+func mustReject(t *testing.T, fx *fixture, s *Script, label string) {
+	t.Helper()
+	if agree(t, fx, s, label) {
+		t.Fatalf("%s: adversarial script accepted by both verifiers", label)
+	}
+}
+
+func clone(s *Script) *Script {
+	out := &Script{
+		F:  append([]pairing.G1(nil), s.F...),
+		U2: s.U2,
+		A:  append([]pairing.G1(nil), s.A...),
+		Y:  append([]pairing.G2(nil), s.Y...),
+		C:  append([]pairing.G1(nil), s.C...),
+		W:  append([]uint32(nil), s.W...),
+		Sg: append([]SoK(nil), s.Sg...),
+	}
+	return out
+}
+
+func dealFixture(t *testing.T, r *rand.Rand, fx *fixture, dealer int) *Script {
+	t.Helper()
+	s, err := Deal(fx.p, fx.eks, dealer, fx.sks[dealer], field.MustRandom(r), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDifferentialHonestScripts(t *testing.T) {
+	r := testRand(41)
+	for _, cfg := range []struct{ n, d int }{{4, 1}, {7, 2}, {7, 4}, {10, 3}} {
+		fx := setup(t, r, cfg.n, cfg.d)
+		agg := dealFixture(t, r, fx, 0)
+		if !agree(t, fx, agg, "single-dealer") {
+			t.Fatalf("n=%d d=%d: honest script rejected", cfg.n, cfg.d)
+		}
+		for dealer := 1; dealer < cfg.n-1; dealer++ {
+			next, err := AggScripts(agg, dealFixture(t, r, fx, dealer))
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg = next
+			if !agree(t, fx, agg, "aggregate") {
+				t.Fatalf("n=%d d=%d: honest aggregate of %d rejected", cfg.n, cfg.d, dealer+1)
+			}
+		}
+	}
+}
+
+// TestDifferentialAdversarialScripts maules one component at a time and
+// asserts batched and sequential verdicts stay equal (and both reject).
+func TestDifferentialAdversarialScripts(t *testing.T) {
+	r := testRand(43)
+	fx := setup(t, r, 7, 2)
+	base := dealFixture(t, r, fx, 1)
+	agg, err := AggScripts(base, dealFixture(t, r, fx, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rndG1 := func() pairing.G1 { return pairing.G1Generator().Exp(field.MustRandom(r)) }
+	rndG2 := func() pairing.G2 { return pairing.G2Generator().Exp(field.MustRandom(r)) }
+
+	for _, src := range []struct {
+		name string
+		s    *Script
+	}{{"unit", base}, {"aggregate", agg}} {
+		// Mauled encrypted share Ŷ_j: violates e(g1, Ŷ_j) = e(A_j, ek_j).
+		m := clone(src.s)
+		m.Y[2] = m.Y[2].Mul(rndG2())
+		mustReject(t, fx, m, src.name+"/mauled-Y")
+
+		// Swapped shares: each per-share equation breaks, though the
+		// "sum" of both sides is nearly preserved — the classic case an
+		// unblinded batch (all r_j = 1) would miss when ek_2 = ek_4.
+		m = clone(src.s)
+		m.Y[2], m.Y[4] = m.Y[4], m.Y[2]
+		mustReject(t, fx, m, src.name+"/swapped-Y")
+
+		m = clone(src.s)
+		m.A[0], m.A[5] = m.A[5], m.A[0]
+		mustReject(t, fx, m, src.name+"/swapped-A")
+
+		// Mauled evaluation commitment: breaks the degree check (and the
+		// per-share equation).
+		m = clone(src.s)
+		m.A[3] = m.A[3].Mul(rndG1())
+		mustReject(t, fx, m, src.name+"/mauled-A")
+
+		// Tampered û2: violates e(F₀, û1) = e(g1, û2).
+		m = clone(src.s)
+		m.U2 = m.U2.Mul(rndG2())
+		mustReject(t, fx, m, src.name+"/mauled-U2")
+
+		// Forged SoK: random challenge/response under the true vk.
+		m = clone(src.s)
+		for i := range m.W {
+			if m.W[i] != 0 {
+				m.Sg[i] = SoK{C: field.MustRandom(r), S: field.MustRandom(r)}
+				break
+			}
+		}
+		mustReject(t, fx, m, src.name+"/forged-sok")
+
+		// Tampered dealer commitment: the SoK no longer binds C_i and
+		// Π C_i^{w_i} ≠ F₀.
+		m = clone(src.s)
+		for i := range m.W {
+			if m.W[i] != 0 {
+				m.C[i] = m.C[i].Mul(rndG1())
+				break
+			}
+		}
+		mustReject(t, fx, m, src.name+"/mauled-C")
+
+		// Weight lie: claims a double contribution it doesn't have.
+		m = clone(src.s)
+		for i := range m.W {
+			if m.W[i] != 0 {
+				m.W[i] = 2
+				break
+			}
+		}
+		mustReject(t, fx, m, src.name+"/weight-lie")
+	}
+
+	// Wrong-degree F: a fresh polynomial of degree d+1 behind otherwise
+	// consistent A/Ŷ values — shape-valid only if F keeps its length, so
+	// model it as a dealer whose A_i interpolate a higher-degree curve.
+	m := clone(base)
+	m.A[6] = m.A[6].Mul(rndG1())
+	m.Y[6] = m.Y[6].Mul(rndG2()) // keep the per-share equation plausible
+	mustReject(t, fx, m, "wrong-degree")
+
+	// Truncated/extended F is a shape violation both paths reject.
+	m = clone(base)
+	m.F = m.F[:len(m.F)-1]
+	mustReject(t, fx, m, "short-F")
+	m = clone(base)
+	m.F = append(m.F, rndG1())
+	mustReject(t, fx, m, "long-F")
+
+	// nil script.
+	mustReject(t, fx, nil, "nil")
+}
+
+// TestDifferentialRandomMaulings fuzzes random single-component
+// perturbations: whatever the mutation, the two verifiers must agree.
+func TestDifferentialRandomMaulings(t *testing.T) {
+	r := testRand(47)
+	fx := setup(t, r, 7, 2)
+	s := dealFixture(t, r, fx, 0)
+	for i := 1; i < 5; i++ {
+		next, err := AggScripts(s, dealFixture(t, r, fx, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s = next
+	}
+	for trial := 0; trial < 200; trial++ {
+		m := clone(s)
+		j := r.Intn(fx.p.N)
+		switch r.Intn(6) {
+		case 0:
+			m.F[r.Intn(len(m.F))] = pairing.G1Generator().Exp(field.MustRandom(r))
+		case 1:
+			m.A[j] = m.A[j].Mul(pairing.G1Generator().Exp(field.MustRandom(r)))
+		case 2:
+			m.Y[j] = m.Y[j].Mul(pairing.G2Generator().Exp(field.MustRandom(r)))
+		case 3:
+			m.U2 = m.U2.Mul(pairing.G2Generator().Exp(field.MustRandom(r)))
+		case 4:
+			m.C[j] = m.C[j].Mul(pairing.G1Generator().Exp(field.MustRandom(r)))
+		case 5:
+			m.Sg[j] = SoK{C: field.MustRandom(r), S: field.MustRandom(r)}
+		}
+		fast := VrfyScript(fx.p, fx.eks, fx.vks, m)
+		slow := VrfyScriptSlow(fx.p, fx.eks, fx.vks, m)
+		if fast != slow {
+			t.Fatalf("trial %d: batched=%v sequential=%v", trial, fast, slow)
+		}
+	}
+}
+
+// TestAggSharesDeterministicSelection pins the sorted-party-order subset
+// rule: with more shares than the threshold — including an inconsistent
+// extra share, where the chosen subset changes the interpolated value — the
+// result must not depend on map insertion history.
+func TestAggSharesDeterministicSelection(t *testing.T) {
+	r := testRand(53)
+	fx := setup(t, r, 7, 2)
+	s := dealFixture(t, r, fx, 0)
+	// One bogus share at the HIGHEST index: sorted selection must always
+	// pick indices {0,1,2} and never see it, whatever the insertion order.
+	bogus := pairing.G2Generator().Exp(field.MustRandom(r))
+	var ref *pairing.G2
+	orders := [][]int{{0, 1, 2, 6}, {6, 2, 1, 0}, {2, 6, 0, 1}, {1, 0, 6, 2}}
+	for _, ord := range orders {
+		shares := make(map[int]pairing.G2)
+		for _, i := range ord {
+			if i == 6 {
+				shares[i] = bogus
+			} else {
+				shares[i] = GetShare(i, fx.dks[i], s)
+			}
+		}
+		got, err := AggShares(fx.p, shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = &got
+		} else if !got.Equal(*ref) {
+			t.Fatalf("AggShares depends on map insertion order %v", ord)
+		}
+	}
+	if !VrfySecret(*ref, s) {
+		t.Fatal("sorted-order selection did not pick the honest threshold subset")
+	}
+}

@@ -83,12 +83,17 @@ type SpecReport struct {
 }
 
 // Matrix is the engine's complete, JSON-serializable output document — the
-// BENCH_*.json artifact CI archives as the perf trajectory.
+// BENCH_*.json artifact CI archives as the perf trajectory and diff-gates
+// against the committed copy. Only result-determining inputs and results
+// appear in the document: the worker count is deliberately NOT recorded
+// (results are bit-identical at any pool size — the engine's core
+// guarantee, asserted by TestMatrixParallelMatchesSerial), so the same
+// matrix regenerated on a 1-core laptop and a many-core CI runner is
+// byte-identical and the diff gate compares substance, not environment.
 type Matrix struct {
 	Schema   string       `json:"schema"`
 	Selector string       `json:"selector,omitempty"`
 	BaseSeed int64        `json:"base_seed"`
-	Workers  int          `json:"workers"`
 	Specs    []SpecReport `json:"specs"`
 }
 
@@ -191,7 +196,7 @@ func RunMatrix(specs []Spec, opt MatrixOptions) Matrix {
 	close(ch)
 	wg.Wait()
 
-	m := Matrix{Schema: MatrixSchema, BaseSeed: opt.BaseSeed, Workers: workers}
+	m := Matrix{Schema: MatrixSchema, BaseSeed: opt.BaseSeed}
 	for si, s := range specs {
 		rep := SpecReport{Name: s.Name, Group: s.Group, Title: s.Title, Claim: s.Claim}
 		switch {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core/vba"
 	"repro/internal/core/wcs"
 	"repro/internal/crypto/field"
+	"repro/internal/crypto/scache"
 	"repro/internal/crypto/vcache"
 	"repro/internal/harness"
 	"repro/internal/sim"
@@ -47,6 +48,10 @@ type Stats struct {
 	// cumulative: concurrent instances share one cache, so an instance's
 	// value is a completion-time snapshot, not an instance-scoped delta.
 	Verifies int64
+	// ScriptVerifies counts cold PVSS script verifications — multi-pairing
+	// work the cluster's script cache could not dedup. Cluster-cumulative,
+	// like Verifies.
+	ScriptVerifies int64
 }
 
 func (s Stats) String() string {
@@ -91,6 +96,7 @@ func collectStats(c *harness.Cluster, rounds int) Stats {
 		N: c.N, F: c.F,
 		Msgs: m.Honest.Msgs, Bytes: m.Honest.Bytes,
 		Rounds: rounds, Steps: c.Net.Steps(), Verifies: c.Verifies(),
+		ScriptVerifies: c.ScriptVerifies(),
 	}
 }
 
@@ -343,6 +349,25 @@ func RunVBADedup(spec RunSpec, proposals [][]byte, valid vba.Predicate) (VBAOutc
 		return VBAOutcome{}, vcache.Stats{}, fmt.Errorf("vba dedup run: %w", err)
 	}
 	return inst.Outcome(), c.VerifyStats(), nil
+}
+
+// RunADKGDedup executes one distributed key generation and additionally
+// reports the cluster's PVSS script verifier-cache counters, quantifying
+// how much multi-pairing work the memo layer removed: without it every
+// party re-verifies every dealer script on receipt and every VBA stage
+// re-evaluates the aggregate predicate per sender (O(n²) script
+// verifications per DKG); with it each distinct script or aggregate is
+// verified cold once, cluster-wide.
+func RunADKGDedup(spec RunSpec) (ADKGOutcome, scache.Stats, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return ADKGOutcome{}, scache.Stats{}, err
+	}
+	inst := LaunchADKG(c, "dkg", adkg.Config{VBA: vba.Config{Coin: spec.coinCfg()}})
+	if err := inst.Wait(context.Background()); err != nil {
+		return ADKGOutcome{}, scache.Stats{}, fmt.Errorf("adkg dedup run: %w", err)
+	}
+	return inst.Outcome(), c.ScriptVerifyStats(), nil
 }
 
 // RunElectionBots models corruption beyond what honest coin runs can

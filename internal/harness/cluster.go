@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/crypto/scache"
 	"repro/internal/crypto/vcache"
 	"repro/internal/livenet"
 	"repro/internal/pki"
@@ -213,6 +214,21 @@ func (c *Cluster) VerifyStats() vcache.Stats {
 // Verifies reports cold VRF verifications performed cluster-wide — the
 // P-256 work the verifier cache could not dedup away.
 func (c *Cluster) Verifies() int64 { return c.VerifyStats().Verifies }
+
+// ScriptVerifyStats reports the cluster's shared PVSS script verifier-cache
+// counters (pki.Setup hands every keyring the same memoizing script
+// verifier, so the counters cover all parties on both runtimes).
+func (c *Cluster) ScriptVerifyStats() scache.Stats {
+	if len(c.Keys) == 0 || c.Keys[0].Scripts == nil {
+		return scache.Stats{}
+	}
+	return c.Keys[0].Scripts.Stats()
+}
+
+// ScriptVerifies reports cold PVSS script verifications performed
+// cluster-wide — the multi-pairing work the script cache could not dedup
+// away.
+func (c *Cluster) ScriptVerifies() int64 { return c.ScriptVerifyStats().Verifies }
 
 // Depth reports party i's current causal depth (0 on the live runtime).
 func (c *Cluster) Depth(i int) int { return c.Runtime(i).Depth() }

@@ -13,8 +13,10 @@ import (
 
 	"repro/internal/crypto/pairing"
 	"repro/internal/crypto/pvss"
+	"repro/internal/crypto/scache"
 	"repro/internal/crypto/sig"
 	"repro/internal/crypto/vcache"
+	"repro/internal/crypto/verifypool"
 	"repro/internal/crypto/vrf"
 )
 
@@ -77,6 +79,14 @@ type Keyring struct {
 	// shares one dedup pool; a nil Verifier (hand-built keyrings in old
 	// tests) falls back to raw verification.
 	Verifier *vcache.Cache
+
+	// Scripts memoizes PVSS script-verification verdicts the same way:
+	// one cluster-wide cache (cold verifies bounded and single-flighted by
+	// a shared verifypool), so the ADKG receipt path, the VBA
+	// external-validity predicate and the Seeding leader/aggregate checks
+	// never re-verify a script any party of the cluster has already
+	// decided. A nil Scripts falls back to raw batched verification.
+	Scripts *scache.Cache
 }
 
 // VerifyVRF checks that (out, pf) is party's VRF evaluation on input,
@@ -90,12 +100,39 @@ func (k *Keyring) VerifyVRF(party int, input []byte, out vrf.Output, pf vrf.Proo
 	return k.Verifier.Verify(party, pk, input, out, pf)
 }
 
+// VerifyScript checks a (possibly aggregated) PVSS script against the keys
+// registered on the bulletin board, through the cluster's memoizing script
+// verifier when present. Every protocol-level script check (Seeding, ADKG,
+// VBA external validity) routes through here so one cluster-wide memo
+// serves them all.
+func (k *Keyring) VerifyScript(p pvss.Params, s *pvss.Script) bool {
+	eks, vks := k.Board.EncKeys(), k.Board.PVSSVKs()
+	if k.Scripts == nil {
+		return pvss.VrfyScript(p, eks, vks, s)
+	}
+	return k.Scripts.Verify(p, eks, vks, s)
+}
+
+// VerifyScriptComposed is VerifyScript with the compositional aggregate
+// fast path: parts maps dealer index → that dealer's already-verified unit
+// script (see scache.VerifyComposed for the soundness argument). The ADKG
+// receipt path feeds its verified contributions in, so honest aggregates
+// proposed into the VBA validate by byte comparison instead of pairings.
+func (k *Keyring) VerifyScriptComposed(p pvss.Params, s *pvss.Script, parts map[int]*pvss.Script) bool {
+	eks, vks := k.Board.EncKeys(), k.Board.PVSSVKs()
+	if k.Scripts == nil {
+		return pvss.VrfyScript(p, eks, vks, s)
+	}
+	return k.Scripts.VerifyComposed(p, eks, vks, s, parts)
+}
+
 // Setup generates keys for n parties from the randomness source and
 // registers all public parts on a shared board.
 func Setup(n int, rng io.Reader) ([]*Keyring, *Board, error) {
 	board := &Board{Parties: make([]Party, n)}
 	rings := make([]*Keyring, n)
 	verifier := vcache.New()
+	scripts := scache.New(verifypool.New(0))
 	for i := 0; i < n; i++ {
 		sk, err := sig.GenerateKey(rng)
 		if err != nil {
@@ -116,7 +153,7 @@ func Setup(n int, rng io.Reader) ([]*Keyring, *Board, error) {
 		board.Parties[i] = Party{Sig: sk.PK, VRF: vk.PK, PVSSEnc: ek, PVSSVK: tk.VK}
 		rings[i] = &Keyring{
 			Self: i, Sig: sk, VRF: vk, PVSSDec: dk, PVSSSig: tk, Board: board,
-			Verifier: verifier,
+			Verifier: verifier, Scripts: scripts,
 		}
 	}
 	return rings, board, nil

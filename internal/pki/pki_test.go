@@ -4,6 +4,9 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/crypto/field"
+	"repro/internal/crypto/pairing"
+	"repro/internal/crypto/pvss"
 	"repro/internal/crypto/vrf"
 )
 
@@ -150,5 +153,62 @@ func TestVerifyVRFSharedCache(t *testing.T) {
 	gout, gpf := ground.Eval(input)
 	if !bare.VerifyVRF(2, input, gout, gpf) {
 		t.Fatal("nil-verifier keyring rejected a valid evaluation")
+	}
+}
+
+// TestKeyringSharedScriptCache mirrors TestKeyringSharedCache (the VRF
+// layer) for PVSS scripts: every keyring of a Setup shares ONE script
+// verdict cache, compositional aggregates validate without cold work, and
+// a nil-Scripts keyring degrades to raw batched verification.
+func TestKeyringSharedScriptCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rings, board, err := Setup(4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pvss.Params{N: 4, Degree: 1}
+	deal := func(dealer int) *pvss.Script {
+		s, derr := pvss.Deal(p, board.EncKeys(), dealer, rings[dealer].PVSSSig, field.MustRandom(rng), rng)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		return s
+	}
+	s0 := deal(0)
+	for i, r := range rings {
+		if !r.VerifyScript(p, s0) {
+			t.Fatalf("ring %d rejected a valid script", i)
+		}
+	}
+	st := rings[0].Scripts.Stats()
+	if st.Verifies != 1 || st.Hits != 3 {
+		t.Fatalf("stats = %+v, want 1 cold verify + 3 shared hits", st)
+	}
+	// A compositional aggregate of verified parts costs no cold verify.
+	s1 := deal(1)
+	if !rings[1].VerifyScript(p, s1) {
+		t.Fatal("second script rejected")
+	}
+	agg, err := pvss.AggScripts(s0, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := map[int]*pvss.Script{0: s0, 1: s1}
+	if !rings[2].VerifyScriptComposed(p, agg, parts) {
+		t.Fatal("compositional aggregate rejected")
+	}
+	st = rings[0].Scripts.Stats()
+	if st.Verifies != 2 || st.Composed != 1 {
+		t.Fatalf("stats = %+v, want 2 cold verifies + 1 composed", st)
+	}
+	// A nil-Scripts keyring degrades to raw verification.
+	bare := &Keyring{Board: board}
+	if !bare.VerifyScript(p, agg) || !bare.VerifyScriptComposed(p, agg, parts) {
+		t.Fatal("nil-Scripts keyring rejected a valid script")
+	}
+	bad := deal(2)
+	bad.U2 = bad.U2.Mul(pairing.G2Generator().Exp(field.MustRandom(rng)))
+	if bare.VerifyScript(p, bad) || rings[3].VerifyScript(p, bad) {
+		t.Fatal("mauled script accepted")
 	}
 }

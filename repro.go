@@ -239,7 +239,10 @@ func (c *Cluster) Close() {
 // sum back to this total.
 func (c *Cluster) Stats() Stats {
 	t := c.hc.TotalTally()
-	return Stats{Messages: t.Msgs, Bytes: t.Bytes, Rounds: 0, Verifies: c.hc.Verifies()}
+	return Stats{
+		Messages: t.Msgs, Bytes: t.Bytes, Rounds: 0,
+		Verifies: c.hc.Verifies(), ScriptVerifies: c.hc.ScriptVerifies(),
+	}
 }
 
 // InstanceStats reports the cumulative traffic scoped to one instance tag
@@ -288,10 +291,17 @@ type Stats struct {
 	// delivery count this is cluster-cumulative: an instance result holds
 	// a completion-time snapshot, not an instance-scoped delta.
 	Verifies int64
+	// ScriptVerifies counts cold PVSS script verifications — the
+	// multi-pairing work the cluster's script cache could not dedup away.
+	// Cluster-cumulative, like Verifies.
+	ScriptVerifies int64
 }
 
 func stats(s exp.Stats) Stats {
-	return Stats{Messages: s.Msgs, Bytes: s.Bytes, Rounds: s.Rounds, Verifies: s.Verifies}
+	return Stats{
+		Messages: s.Msgs, Bytes: s.Bytes, Rounds: s.Rounds,
+		Verifies: s.Verifies, ScriptVerifies: s.ScriptVerifies,
+	}
 }
 
 // CoinResult is the outcome of FlipCoin.

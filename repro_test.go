@@ -140,3 +140,27 @@ func TestCoinVerifyDedupBudget(t *testing.T) {
 		t.Fatal("verifies counter not wired — a coin run cannot verify nothing")
 	}
 }
+
+// TestADKGScriptVerifyDedupBudget mirrors TestCoinVerifyDedupBudget for the
+// PVSS layer: a 7-party ADKG issues O(n²) script checks (every party
+// verifies every dealer contribution on receipt, and the VBA re-evaluates
+// the aggregate predicate once per sender per broadcast stage), but the
+// cluster-shared script cache plus the compositional aggregate fast path
+// must keep the COLD multi-pairing verifications at n + O(1): one per
+// distinct dealer script, plus the few aggregates that reach a party before
+// their component contributions do.
+func TestADKGScriptVerifyDedupBudget(t *testing.T) {
+	const n = 7
+	const budget = n + 2
+	res, err := GenerateKey(Config{N: n, Seed: 1, GenesisNonce: []byte("dedup-budget")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ScriptVerifies > budget {
+		t.Fatalf("7-party ADKG performed %d cold script verifies, budget %d (n + O(1)) — script dedup regressed",
+			res.Stats.ScriptVerifies, budget)
+	}
+	if res.Stats.ScriptVerifies == 0 {
+		t.Fatal("script-verifies counter not wired — a DKG cannot verify nothing")
+	}
+}
