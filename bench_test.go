@@ -27,6 +27,7 @@ import (
 	"repro/internal/crypto/field"
 	"repro/internal/crypto/pairing"
 	"repro/internal/crypto/pvss"
+	"repro/internal/crypto/rs"
 	"repro/internal/crypto/scache"
 	"repro/internal/crypto/vcache"
 	"repro/internal/exp"
@@ -340,5 +341,112 @@ func BenchmarkADKGAtScale(b *testing.B) {
 		}
 		reportOutcome(b, last)
 		b.ReportMetric(float64(last.Stats.ScriptVerifies), "script-verifies/op")
+	})
+}
+
+// rsBenchShape is the acceptance shape of the data-plane work: an n=16
+// cluster's AVID threshold (k = f+1 = 6) over a multi-column payload.
+const (
+	rsBenchK       = 6
+	rsBenchN       = 16
+	rsBenchPayload = 16 * 1024 // ~89 columns of 6×31 payload bytes
+)
+
+func rsBenchData(b *testing.B) []byte {
+	b.Helper()
+	data := make([]byte, rsBenchPayload)
+	rand.New(rand.NewSource(42)).Read(data)
+	return data
+}
+
+// BenchmarkRSEncode compares the cached-basis systematic encoder against
+// the original per-column evaluate/interpolate path at the n=16 AVID shape.
+// The fast path copies the k source chunks verbatim and computes only the
+// n−k parity rows as cached-matrix dot products (~10× on this shape); the
+// parity-symbols/op and field-muls/op units report the work that remains.
+func BenchmarkRSEncode(b *testing.B) {
+	data := rsBenchData(b)
+	b.Run("fast", func(b *testing.B) {
+		before := rs.Snapshot()
+		for i := 0; i < b.N; i++ {
+			if _, err := rs.Encode(data, rsBenchK, rsBenchN); err != nil {
+				b.Fatal(err)
+			}
+		}
+		d := rs.Snapshot().Delta(before)
+		b.ReportMetric(float64(d.ParitySymbols)/float64(b.N), "parity-symbols/op")
+		b.ReportMetric(float64(d.FieldMuls)/float64(b.N), "field-muls/op")
+	})
+	b.Run("slow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rs.EncodeSlow(data, rsBenchK, rsBenchN); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRSDecode compares decode paths at the same shape. The
+// systematic sub-benchmark supplies the first k chunks (pure concatenation,
+// zero field multiplications — guard-tested in the rs differential suite);
+// the parity sub-benchmark supplies the last k (one memoized basis applied
+// across columns); slow is the original interpolating decoder on the same
+// parity subset. fast-parity vs slow is the ≥ 5× acceptance ratio.
+func BenchmarkRSDecode(b *testing.B) {
+	data := rsBenchData(b)
+	chunks, err := rs.Encode(data, rsBenchK, rsBenchN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	systematic := map[int][]byte{}
+	parity := map[int][]byte{}
+	for i := 0; i < rsBenchK; i++ {
+		systematic[i] = chunks[i]
+	}
+	for i := rsBenchN - rsBenchK; i < rsBenchN; i++ {
+		parity[i] = chunks[i]
+	}
+	run := func(sub map[int][]byte, dec func(map[int][]byte, int) ([]byte, error)) func(*testing.B) {
+		return func(b *testing.B) {
+			before := rs.Snapshot()
+			for i := 0; i < b.N; i++ {
+				got, err := dec(sub, rsBenchK)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !bytes.Equal(got, data) {
+					b.Fatal("decode mismatch")
+				}
+			}
+			d := rs.Snapshot().Delta(before)
+			b.ReportMetric(float64(d.FieldMuls)/float64(b.N), "field-muls/op")
+		}
+	}
+	b.Run("fast-systematic", run(systematic, rs.Decode))
+	b.Run("fast-parity", run(parity, rs.Decode))
+	b.Run("slow", run(parity, rs.DecodeSlow))
+}
+
+// BenchmarkRBCAtScale runs the rbc/avid registry spec at the top of its
+// sweep (n=16, 16 concurrent 4 KiB AVID broadcasts) — the workload the
+// cached-basis codec unlocked; CI's bench smoke executes it once per run
+// as the data-plane scale gate.
+func BenchmarkRBCAtScale(b *testing.B) {
+	spec, ok := exp.Lookup("rbc/avid")
+	if !ok {
+		b.Fatal("rbc/avid not registered")
+	}
+	n := spec.Ns[len(spec.Ns)-1]
+	b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+		var last exp.Outcome
+		for i := 0; i < b.N; i++ {
+			out, err := exp.RunNamed("rbc/avid", n, i, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = out
+		}
+		reportOutcome(b, last)
+		b.ReportMetric(float64(last.Stats.RSOps), "rs-ops/op")
 	})
 }

@@ -11,10 +11,11 @@
 //	go run ./cmd/benchtable -exp adv -sched lifo         # scenario suite under an override adversary
 //	go run ./cmd/benchtable -exp table1 -json -parallel  # machine-readable artifact on stdout
 //	go run ./cmd/benchtable -exp table1 -json -out BENCH_table1.json
+//	go run ./cmd/benchtable -exp rbc,dedup/rs-ops -workers 1   # RS data-plane sweep (serial: exact codec counters)
 //
 // Selectors name specs ("e1/coin-pki"), groups ("e1".."e11", "ablation",
-// "adv", "mux") or tags ("table1", "sched", "session"); "all" selects
-// everything. Growth
+// "adv", "mux", "rbc") or tags ("table1", "sched", "session", "rbc"); "all"
+// selects everything. Growth
 // exponents are least-squares fits of log(mean bytes) against log(n); the
 // paper's claims are Θ(λn³) for the new protocols, Θ(λn⁴) for CKLS02-shape,
 // Θ(λn³ log n) for AJM+21-shape and Θ(λn²) for the threshold-setup coin.
@@ -224,6 +225,17 @@ func printExtras(s exp.SpecReport) {
 	}
 	if d, ok := last.Extra["script-verifies"]; ok {
 		parts = append(parts, fmt.Sprintf("cold script verifies %.0f", d.Mean))
+	}
+	if d, ok := last.Extra["rs-decodes"]; ok {
+		if sys, ok2 := last.Extra["rs-systematic"]; ok2 && d.Mean > 0 {
+			parts = append(parts, fmt.Sprintf("rs decodes %.0f (%.0f%% zero-mul systematic)",
+				d.Mean, 100*sys.Mean/d.Mean))
+		} else {
+			parts = append(parts, fmt.Sprintf("rs decodes %.0f", d.Mean))
+		}
+	}
+	if d, ok := last.Extra["rs-field-muls"]; ok {
+		parts = append(parts, fmt.Sprintf("rs field-muls %.0f", d.Mean))
 	}
 	if len(parts) > 0 {
 		fmt.Printf("%-34s    · %s\n", "", strings.Join(parts, ", "))

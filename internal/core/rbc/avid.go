@@ -24,7 +24,8 @@ type AVID struct {
 	sender int
 	out    Output
 
-	k          int // reconstruction threshold = f+1
+	k          int       // reconstruction threshold = f+1
+	codec      *rs.Codec // cached-basis (k, n) codec shared process-wide
 	echoSent   bool
 	readySent  bool
 	delivered  bool
@@ -53,16 +54,20 @@ func NewAVID(rt proto.Runtime, inst string, sender int, out Output) *AVID {
 		rootEchoes: make(map[merkle.Root]map[int][]byte),
 		readies:    make(map[merkle.Root]map[int]bool),
 	}
+	// k = f+1 ≤ n always holds, so the codec lookup cannot fail; the nil
+	// guard below keeps Start/maybeDeliver fail-silent like every other
+	// malformed-state branch.
+	a.codec, _ = rs.Get(a.k, rt.N())
 	rt.Register(inst, a)
 	return a
 }
 
 // Start disperses the value; only the designated sender calls it.
 func (a *AVID) Start(value []byte) {
-	if a.rt.Self() != a.sender {
+	if a.rt.Self() != a.sender || a.codec == nil {
 		return
 	}
-	chunks, err := rs.Encode(value, a.k, a.rt.N())
+	chunks, err := a.codec.Encode(value)
 	if err != nil {
 		return
 	}
@@ -204,16 +209,25 @@ func (a *AVID) maybeDeliver(root merkle.Root) {
 	if a.delivered {
 		return
 	}
-	if len(a.readies[root]) < 2*a.rt.F()+1 || len(a.rootEchoes[root]) < a.k {
+	if len(a.readies[root]) < 2*a.rt.F()+1 || len(a.rootEchoes[root]) < a.k || a.codec == nil {
 		return
 	}
-	value, err := rs.Decode(a.rootEchoes[root], a.k)
+	// With the systematic codec the echo-reconstruction path reuses the
+	// received chunks instead of interpolating: Decode picks the k lowest
+	// echoed indices, and whenever the k systematic chunks are among them
+	// the payload is their byte concatenation (zero field work).
+	value, err := a.codec.Decode(a.rootEchoes[root])
 	if err != nil {
 		return
 	}
 	// Re-encode and check the root to reject a sender who dispersed
-	// inconsistent chunks.
-	chunks, err := rs.Encode(value, a.k, a.rt.N())
+	// inconsistent chunks. The source rows of this re-encode are byte
+	// copies of the decoded payload; only the n−k parity rows cost field
+	// work — and those MUST be recomputed rather than reused from received
+	// echoes, because the root check is what pins every chunk (including
+	// ones this party never saw) to the unique degree-<k polynomial behind
+	// `value`, with the zero padding the framing prescribes.
+	chunks, err := a.codec.Encode(value)
 	if err != nil {
 		return
 	}

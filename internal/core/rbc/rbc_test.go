@@ -313,3 +313,41 @@ func TestAVIDBytesBeatBrachaOnLargePayloadButCarryLogFactor(t *testing.T) {
 		t.Fatalf("AVID (%d B) not cheaper than Bracha (%d B) on 4 KiB payload", avidBytes, brachaBytes)
 	}
 }
+
+// TestAVIDRunsOnCachedCodec pins the data-plane rewiring: an AVID broadcast
+// must route every encode (dispersal + per-party re-encode check) and every
+// reconstruction through the cached-basis codec, and the decoded payloads
+// must be intact. The slow evaluate/interpolate path stays test-only.
+func TestAVIDRunsOnCachedCodec(t *testing.T) {
+	const n, f = 7, 2
+	before := rs.Snapshot()
+	nw := sim.New(sim.Config{N: n, F: f, Seed: 77})
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	outputs := make(map[int][]byte)
+	for i := 0; i < n; i++ {
+		i := i
+		a := NewAVID(nw.Node(i), "avid", 0, func(v []byte) { outputs[i] = v })
+		if i == 0 {
+			a.Start(payload)
+		}
+	}
+	if err := nw.Run(1_000_000, func() bool { return len(outputs) == n }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range outputs {
+		if !bytes.Equal(v, payload) {
+			t.Fatalf("node %d corrupted payload", i)
+		}
+	}
+	d := rs.Snapshot().Delta(before)
+	// 1 dispersal encode + n re-encode consistency checks; n decodes.
+	if d.Encodes < int64(n+1) || d.Decodes < int64(n) {
+		t.Fatalf("AVID bypassed the codec: %+v", d)
+	}
+	if d.CodecBuilds+d.CodecHits == 0 {
+		t.Fatal("AVID never consulted the codec cache")
+	}
+}

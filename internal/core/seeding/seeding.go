@@ -54,6 +54,7 @@ type Seeding struct {
 
 	// Leader state.
 	collected map[int]bool
+	units     map[int]*pvss.Script // receipt-verified unit contributions
 	agg       *pvss.Script
 	aggSent   bool
 	sigma     sig.Quorum
@@ -86,6 +87,7 @@ func New(rt proto.Runtime, inst string, keys *pki.Keyring, leader int, out Outpu
 		params:    pvss.Params{N: rt.N(), Degree: 2 * rt.F()},
 		out:       out,
 		collected: make(map[int]bool),
+		units:     make(map[int]*pvss.Script),
 		shares:    make(map[int]pairing.G2),
 		echoes:    make(map[string]map[int]bool),
 		readies:   make(map[string]map[int]bool),
@@ -179,6 +181,7 @@ func (s *Seeding) onScript(from int, rd *wire.Reader) {
 		}
 	}
 	s.collected[from] = true
+	s.units[from] = script
 	if s.agg == nil {
 		s.agg = script
 	} else {
@@ -189,6 +192,13 @@ func (s *Seeding) onScript(from int, rd *wire.Reader) {
 	}
 	if len(s.collected) == 2*s.rt.F()+1 {
 		s.aggSent = true
+		// Ride the receipt-path verdicts: the aggregate is exactly the
+		// product of the 2f+1 unit scripts this leader just verified, so
+		// the compositional check validates it with zero pairing work AND
+		// plants the positive verdict in the cluster memo — every party's
+		// onAggPvss check below lands a cache hit instead of one cold
+		// multi-pairing on its critical path.
+		s.keys.VerifyScriptComposed(s.params, s.agg, s.units)
 		var out wire.Writer
 		out.Byte(msgAggPvss)
 		out.Blob(s.agg.Bytes())
@@ -203,11 +213,15 @@ func (s *Seeding) onAggPvss(from int, rd *wire.Reader) {
 		s.rt.Reject()
 		return
 	}
-	// Through the cluster memo: the leader's aggregate is one multicast
-	// verified by every party — one cold verification cluster-wide, n−1
-	// hits.
+	// Through the cluster memo: the leader seeded a compositional verdict
+	// for its aggregate at aggregation time, so this check is a cache hit
+	// everywhere — zero cold verifications cluster-wide on the honest
+	// path. s.units is populated only on the leader (empty elsewhere), and
+	// VerifyScriptComposed degrades to the plain memoized verification for
+	// unknown aggregates, so a Byzantine leader's mauled script still pays
+	// the full cold check and rejects as before.
 	script, err := pvss.FromBytes(s.params, raw)
-	if err != nil || !s.keys.VerifyScript(s.params, script) {
+	if err != nil || !s.keys.VerifyScriptComposed(s.params, script, s.units) {
 		s.rt.Reject()
 		return
 	}

@@ -140,6 +140,56 @@ func (s Scalar) Inv() Scalar {
 	return Scalar{v: new(big.Int).ModInverse(s.big(), q)}
 }
 
+// Dot returns the inner product Σ ws[i]·vs[i] with lazy reduction: the
+// products accumulate as one unreduced integer and a single Mod closes the
+// sum, instead of the 2·len interleaved reductions the naive
+// Mul/Add chain pays. It is the per-column kernel of the Reed–Solomon
+// codec's cached-basis application, where the reduction count — not the
+// multiplication count — dominates. Panics if the slices differ in length.
+func Dot(ws, vs []Scalar) Scalar {
+	if len(ws) != len(vs) {
+		panic("field: Dot length mismatch")
+	}
+	acc := new(big.Int)
+	tmp := new(big.Int)
+	for i := range ws {
+		tmp.Mul(ws[i].big(), vs[i].big())
+		acc.Add(acc, tmp)
+	}
+	return reduce(acc)
+}
+
+// BatchInv inverts every element of xs with Montgomery's trick: one modular
+// inversion plus 3(len−1) multiplications instead of len inversions. It is
+// the workhorse of the cached Lagrange-basis precomputations (poly.EvalMatrix,
+// the Reed–Solomon codec), where a naive per-denominator ModInverse dominates
+// the basis build. Like Inv, it panics on a zero input — inversion inputs in
+// this codebase are differences of distinct evaluation points.
+func BatchInv(xs []Scalar) []Scalar {
+	out := make([]Scalar, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	// prefix[i] = x_0 · … · x_i
+	prefix := make([]Scalar, len(xs))
+	acc := One()
+	for i, x := range xs {
+		if x.IsZero() {
+			panic("field: inverse of zero")
+		}
+		acc = acc.Mul(x)
+		prefix[i] = acc
+	}
+	// inv runs backward: inv(x_0·…·x_i) = inv(x_0·…·x_{i+1}) · x_{i+1}.
+	inv := prefix[len(xs)-1].Inv()
+	for i := len(xs) - 1; i > 0; i-- {
+		out[i] = inv.Mul(prefix[i-1])
+		inv = inv.Mul(xs[i])
+	}
+	out[0] = inv
+	return out
+}
+
 // Exp returns s^e for a non-negative machine integer exponent.
 func (s Scalar) Exp(e uint64) Scalar {
 	return Scalar{v: new(big.Int).Exp(s.big(), new(big.Int).SetUint64(e), q)}

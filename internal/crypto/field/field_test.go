@@ -141,3 +141,56 @@ func TestFromBigReduces(t *testing.T) {
 		t.Fatalf("FromBig(q+5) = %v", got)
 	}
 }
+
+func TestBatchInvMatchesInv(t *testing.T) {
+	r := testRand(7)
+	for _, size := range []int{0, 1, 2, 7, 33} {
+		xs := make([]Scalar, size)
+		for i := range xs {
+			xs[i] = randScalar(r)
+			if xs[i].IsZero() {
+				xs[i] = One()
+			}
+		}
+		got := BatchInv(xs)
+		for i, x := range xs {
+			if !got[i].Equal(x.Inv()) {
+				t.Fatalf("size %d: BatchInv[%d] mismatch", size, i)
+			}
+		}
+	}
+}
+
+func TestBatchInvPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BatchInv accepted a zero element")
+		}
+	}()
+	BatchInv([]Scalar{One(), Zero(), One()})
+}
+
+func TestDotMatchesMulAddChain(t *testing.T) {
+	r := testRand(8)
+	for _, size := range []int{0, 1, 5, 17} {
+		ws := make([]Scalar, size)
+		vs := make([]Scalar, size)
+		want := Zero()
+		for i := range ws {
+			ws[i], vs[i] = randScalar(r), randScalar(r)
+			want = want.Add(ws[i].Mul(vs[i]))
+		}
+		if got := Dot(ws, vs); !got.Equal(want) {
+			t.Fatalf("size %d: Dot diverges from Mul/Add chain", size)
+		}
+	}
+}
+
+func TestDotPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot accepted mismatched lengths")
+		}
+	}()
+	Dot([]Scalar{One()}, nil)
+}

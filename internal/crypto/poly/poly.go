@@ -177,6 +177,69 @@ func LagrangeCoeffs(xs []field.Scalar, at field.Scalar) ([]field.Scalar, error) 
 	return out, nil
 }
 
+// EvalMatrix returns the Lagrange evaluation matrix rows[r][j] = λ_j(ats[r])
+// for the basis over xs: for any polynomial p of degree < len(xs),
+// p(ats[r]) = Σ_j rows[r][j] · p(xs[j]). It computes the same coefficients as
+// LagrangeCoeffs row by row, but shares the per-basis denominators across all
+// rows and batches every inversion (field.BatchInv), so precomputing a whole
+// extension or reconstruction matrix costs two batched inversions instead of
+// O(len(xs)·len(ats)) modular inverses. An evaluation point that coincides
+// with some xs[m] yields the exact unit row e_m (the basis property), with no
+// field multiplications for that row.
+func EvalMatrix(xs, ats []field.Scalar) ([][]field.Scalar, error) {
+	k := len(xs)
+	if k == 0 {
+		return nil, errors.New("poly: empty basis")
+	}
+	// dens[j] = Π_{i≠j} (x_j − x_i), shared by every row.
+	dens := make([]field.Scalar, k)
+	for j, xj := range xs {
+		d := field.One()
+		for i, xi := range xs {
+			if i == j {
+				continue
+			}
+			diff := xj.Sub(xi)
+			if diff.IsZero() {
+				return nil, fmt.Errorf("%w: x=%v", ErrDuplicatePoint, xi)
+			}
+			d = d.Mul(diff)
+		}
+		dens[j] = d
+	}
+	invDens := field.BatchInv(dens)
+
+	rows := make([][]field.Scalar, len(ats))
+	for r, at := range ats {
+		row := make([]field.Scalar, k)
+		// On-basis point: λ_j(x_m) is the Kronecker delta.
+		unit := -1
+		diffs := make([]field.Scalar, k)
+		for j, xj := range xs {
+			diffs[j] = at.Sub(xj)
+			if diffs[j].IsZero() {
+				unit = j
+			}
+		}
+		if unit >= 0 {
+			row[unit] = field.One()
+			rows[r] = row
+			continue
+		}
+		// λ_j(at) = M / ((at − x_j) · den_j) with M = Π_i (at − x_i).
+		m := field.One()
+		for _, d := range diffs {
+			m = m.Mul(d)
+		}
+		invDiffs := field.BatchInv(diffs)
+		for j := range row {
+			row[j] = m.Mul(invDiffs[j]).Mul(invDens[j])
+		}
+		rows[r] = row
+	}
+	return rows, nil
+}
+
 // Interpolate reconstructs the full coefficient vector of the unique
 // polynomial of degree len(shares)-1 through the shares. It is used by tests
 // and by the AVSS key-recovery path, where the degree bound is checked by

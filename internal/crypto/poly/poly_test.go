@@ -179,3 +179,72 @@ func TestInterpolateAtArbitraryPoint(t *testing.T) {
 		t.Fatal("InterpolateAt mismatch")
 	}
 }
+
+func TestEvalMatrixMatchesLagrangeCoeffs(t *testing.T) {
+	xs := []field.Scalar{X(1), X(3), X(4), X(8)}
+	ats := []field.Scalar{field.Zero(), X(0), X(3), X(9), field.FromUint64(777)}
+	rows, err := EvalMatrix(xs, ats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, at := range ats {
+		want, err := LagrangeCoeffs(xs, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if !rows[r][j].Equal(want[j]) {
+				t.Fatalf("row %d col %d: EvalMatrix diverges from LagrangeCoeffs", r, j)
+			}
+		}
+	}
+}
+
+func TestEvalMatrixOnBasisPointIsUnitRow(t *testing.T) {
+	xs := []field.Scalar{X(0), X(2), X(5)}
+	rows, err := EvalMatrix(xs, []field.Scalar{X(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range xs {
+		want := field.Zero()
+		if j == 1 {
+			want = field.One()
+		}
+		if !rows[0][j].Equal(want) {
+			t.Fatalf("on-basis row not a unit vector: col %d = %v", j, rows[0][j])
+		}
+	}
+}
+
+func TestEvalMatrixExtendsPolynomial(t *testing.T) {
+	r := testRand(11)
+	p, err := Random(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []field.Scalar{X(0), X(1), X(2), X(3)}
+	ats := []field.Scalar{X(4), X(5), X(6)}
+	rows, err := EvalMatrix(xs, ats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri, at := range ats {
+		acc := field.Zero()
+		for j := 0; j < 4; j++ {
+			acc = acc.Add(rows[ri][j].Mul(p.Eval(xs[j])))
+		}
+		if !acc.Equal(p.Eval(at)) {
+			t.Fatalf("extension row %d does not reproduce p(at)", ri)
+		}
+	}
+}
+
+func TestEvalMatrixRejectsDuplicates(t *testing.T) {
+	if _, err := EvalMatrix([]field.Scalar{X(1), X(1)}, []field.Scalar{X(0)}); err == nil {
+		t.Fatal("accepted duplicate basis points")
+	}
+	if _, err := EvalMatrix(nil, []field.Scalar{X(0)}); err == nil {
+		t.Fatal("accepted empty basis")
+	}
+}

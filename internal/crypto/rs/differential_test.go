@@ -1,0 +1,380 @@
+package rs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The differential suite gates the cached-basis codec against the original
+// evaluate/interpolate implementation, mirroring the VrfyScript ⟺
+// VrfyScriptSlow pattern: byte-identical encodes, identical decode payloads
+// on accept, and matching reject verdicts on corrupt, ragged, and
+// overflowing input. Decode comparisons always supply exactly k chunks,
+// because DecodeSlow picks its reconstruction set in map-iteration order —
+// with more than k chunks of inconsistent content its outcome is not a
+// function of the input.
+
+func payloads(r *rand.Rand) [][]byte {
+	sizes := []int{0, 1, 30, 31, 32, 61, 200, 1024, 5000}
+	out := make([][]byte, 0, len(sizes))
+	for _, s := range sizes {
+		p := make([]byte, s)
+		r.Read(p)
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestEncodeFastMatchesSlowBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, kn := range [][2]int{{1, 1}, {1, 4}, {2, 4}, {3, 7}, {6, 16}, {5, 5}} {
+		k, n := kn[0], kn[1]
+		for _, data := range payloads(r) {
+			fast, err := Encode(data, k, n)
+			if err != nil {
+				t.Fatalf("k=%d n=%d len=%d: fast: %v", k, n, len(data), err)
+			}
+			slow, err := EncodeSlow(data, k, n)
+			if err != nil {
+				t.Fatalf("k=%d n=%d len=%d: slow: %v", k, n, len(data), err)
+			}
+			for i := range slow {
+				if !bytes.Equal(fast[i], slow[i]) {
+					t.Fatalf("k=%d n=%d len=%d: chunk %d differs between fast and slow encode",
+						k, n, len(data), i)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeFastMatchesSlowOnSubsets(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	const k, n = 4, 10
+	for _, data := range payloads(r) {
+		chunks, err := Encode(data, k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			sub := make(map[int][]byte, k)
+			for _, i := range r.Perm(n)[:k] {
+				sub[i] = chunks[i]
+			}
+			fast, ferr := Decode(sub, k)
+			slow, serr := DecodeSlow(sub, k)
+			if (ferr == nil) != (serr == nil) {
+				t.Fatalf("len=%d: verdicts diverge: fast=%v slow=%v", len(data), ferr, serr)
+			}
+			if ferr == nil && (!bytes.Equal(fast, slow) || !bytes.Equal(fast, data)) {
+				t.Fatalf("len=%d: payloads diverge", len(data))
+			}
+		}
+	}
+}
+
+func TestDecodeCorruptChunkEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const k, n = 3, 7
+	data := make([]byte, 400)
+	r.Read(data)
+	chunks, err := Encode(data, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		sel := r.Perm(n)[:k]
+		sub := make(map[int][]byte, k)
+		for _, i := range sel {
+			sub[i] = append([]byte(nil), chunks[i]...)
+		}
+		// Flip one byte of one selected chunk: both decoders must agree —
+		// either both reconstruct the same (wrong) payload or both reject
+		// (overflowing symbol, corrupt length prefix).
+		victim := sel[r.Intn(k)]
+		sub[victim][r.Intn(len(sub[victim]))] ^= byte(1 + r.Intn(255))
+		fast, ferr := Decode(sub, k)
+		slow, serr := DecodeSlow(sub, k)
+		if (ferr == nil) != (serr == nil) {
+			t.Fatalf("trial %d: verdicts diverge: fast=%v slow=%v", trial, ferr, serr)
+		}
+		if ferr == nil && !bytes.Equal(fast, slow) {
+			t.Fatalf("trial %d: corrupted payloads diverge", trial)
+		}
+	}
+}
+
+func TestDecodeInconsistentLengthsEquivalence(t *testing.T) {
+	chunks, err := Encode(bytes.Repeat([]byte("x"), 300), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := map[int][]byte{0: chunks[0], 1: chunks[1][:len(chunks[1])-32]}
+	if _, err := Decode(sub, 2); err == nil {
+		t.Fatal("fast accepted inconsistent chunk lengths")
+	}
+	if _, err := DecodeSlow(sub, 2); err == nil {
+		t.Fatal("slow accepted inconsistent chunk lengths")
+	}
+	// Ragged (not a multiple of the symbol size) and empty chunks reject on
+	// both paths too.
+	for _, bad := range [][]byte{chunks[0][:33], {}} {
+		sub := map[int][]byte{0: bad, 1: bad}
+		if _, err := Decode(sub, 2); err == nil {
+			t.Fatalf("fast accepted chunk length %d", len(bad))
+		}
+		if _, err := DecodeSlow(sub, 2); err == nil {
+			t.Fatalf("slow accepted chunk length %d", len(bad))
+		}
+	}
+}
+
+func TestDecodeOverflowSymbolsEquivalence(t *testing.T) {
+	const k, n = 3, 6
+	chunks, err := Encode([]byte("overflow symbols probe payload"), k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A symbol with a non-zero guard byte in a systematic chunk: the slow
+	// path rejects it at the output overflow check (or at SetCanonical if
+	// ≥ q); the fast systematic path must reject it too, not concatenate.
+	for _, guard := range []byte{0x01, 0xff} {
+		sub := make(map[int][]byte, k)
+		for i := 0; i < k; i++ {
+			sub[i] = append([]byte(nil), chunks[i]...)
+		}
+		sub[1][0] = guard
+		if _, err := Decode(sub, k); err == nil {
+			t.Fatalf("fast accepted guard byte %#x", guard)
+		}
+		if _, err := DecodeSlow(sub, k); err == nil {
+			t.Fatalf("slow accepted guard byte %#x", guard)
+		}
+	}
+	// The same mauling on a parity subset: the mauled value is a valid
+	// field element, so both paths reconstruct the same garbage or both
+	// reject — differentially equal either way.
+	sub := make(map[int][]byte, k)
+	for i := n - k; i < n; i++ {
+		sub[i] = append([]byte(nil), chunks[i]...)
+	}
+	sub[n-1][0] = 0x01
+	fast, ferr := Decode(sub, k)
+	slow, serr := DecodeSlow(sub, k)
+	if (ferr == nil) != (serr == nil) {
+		t.Fatalf("parity overflow verdicts diverge: fast=%v slow=%v", ferr, serr)
+	}
+	if ferr == nil && !bytes.Equal(fast, slow) {
+		t.Fatal("parity overflow payloads diverge")
+	}
+}
+
+// TestDifferentialFuzz drives 200 randomized trials through both codecs:
+// random shape, payload, chunk subset, and an optional mutation (corrupt
+// byte, truncated chunk, guard-byte overflow). Verdicts must match exactly
+// and accepted payloads must be byte-identical.
+func TestDifferentialFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + r.Intn(6)
+		n := k + r.Intn(12)
+		data := make([]byte, r.Intn(2000))
+		r.Read(data)
+
+		fast, ferr := Encode(data, k, n)
+		slow, serr := EncodeSlow(data, k, n)
+		if (ferr == nil) != (serr == nil) {
+			t.Fatalf("trial %d: encode verdicts diverge", trial)
+		}
+		if ferr != nil {
+			continue
+		}
+		for i := range slow {
+			if !bytes.Equal(fast[i], slow[i]) {
+				t.Fatalf("trial %d: encode chunk %d diverges", trial, i)
+			}
+		}
+
+		sel := r.Perm(n)[:k]
+		sub := make(map[int][]byte, k)
+		for _, i := range sel {
+			sub[i] = append([]byte(nil), fast[i]...)
+		}
+		victim := sel[r.Intn(k)]
+		switch r.Intn(4) {
+		case 1: // corrupt one byte
+			sub[victim][r.Intn(len(sub[victim]))] ^= byte(1 + r.Intn(255))
+		case 2: // truncate one chunk by a whole symbol
+			if len(sub[victim]) > 32 {
+				sub[victim] = sub[victim][:len(sub[victim])-32]
+			}
+		case 3: // force a guard-byte overflow
+			sub[victim][0] = byte(1 + r.Intn(255))
+		}
+		gotF, errF := Decode(sub, k)
+		gotS, errS := DecodeSlow(sub, k)
+		if (errF == nil) != (errS == nil) {
+			t.Fatalf("trial %d (k=%d n=%d): decode verdicts diverge: fast=%v slow=%v",
+				trial, k, n, errF, errS)
+		}
+		if errF == nil && !bytes.Equal(gotF, gotS) {
+			t.Fatalf("trial %d: decode payloads diverge", trial)
+		}
+	}
+}
+
+// TestSystematicDecodeDoesZeroFieldWork is the guard for the headline fast
+// path: decoding from the k systematic chunks must perform no field
+// multiplications at all — the payload is a pure byte concatenation.
+func TestSystematicDecodeDoesZeroFieldWork(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const k, n = 6, 16
+	data := make([]byte, 8*1024)
+	r.Read(data)
+	chunks, err := Encode(data, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := make(map[int][]byte, k)
+	for i := 0; i < k; i++ {
+		sub[i] = chunks[i]
+	}
+	before := Snapshot()
+	got, err := Decode(sub, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("systematic decode corrupted payload")
+	}
+	d := Snapshot().Delta(before)
+	if d.FieldMuls != 0 {
+		t.Fatalf("systematic-prefix decode performed %d field multiplications, want 0", d.FieldMuls)
+	}
+	if d.SystematicDecodes != 1 || d.Decodes != 1 {
+		t.Fatalf("systematic decode not counted: %+v", d)
+	}
+	// Sanity check of the counter itself: a parity decode must register
+	// multiplications.
+	sub = map[int][]byte{}
+	for i := n - k; i < n; i++ {
+		sub[i] = chunks[i]
+	}
+	before = Snapshot()
+	if _, err := Decode(sub, k); err != nil {
+		t.Fatal(err)
+	}
+	d = Snapshot().Delta(before)
+	if d.FieldMuls == 0 {
+		t.Fatal("parity decode reported zero field multiplications — the guard counter is dead")
+	}
+	if d.SystematicDecodes != 0 {
+		t.Fatal("parity decode miscounted as systematic")
+	}
+}
+
+// TestCodecCacheAndBasisMemo pins the cache behaviour the cluster relies
+// on: repeated Get calls are hits, and repeat index sets reuse the memoized
+// reconstruction basis.
+func TestCodecCacheAndBasisMemo(t *testing.T) {
+	before := Snapshot()
+	a, err := Get(5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Get(5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Get returned distinct codecs for one shape")
+	}
+	d := Snapshot().Delta(before)
+	if d.CodecHits < 1 {
+		t.Fatalf("second Get was not a cache hit: %+v", d)
+	}
+
+	data := []byte("basis memo probe")
+	chunks, err := a.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := map[int][]byte{}
+	for i := 11 - 5; i < 11; i++ {
+		sub[i] = chunks[i]
+	}
+	before = Snapshot()
+	if _, err := a.Decode(sub); err != nil {
+		t.Fatal(err)
+	}
+	mid := Snapshot().Delta(before)
+	if _, err := a.Decode(sub); err != nil {
+		t.Fatal(err)
+	}
+	d = Snapshot().Delta(before)
+	if d.BasisHits <= mid.BasisHits {
+		t.Fatalf("repeat decode of one index set did not hit the basis memo: %+v", d)
+	}
+}
+
+func TestGetValidatesShape(t *testing.T) {
+	for _, kn := range [][2]int{{0, 3}, {4, 3}, {-1, 2}} {
+		if _, err := Get(kn[0], kn[1]); err == nil {
+			t.Fatalf("Get(%d, %d) accepted an invalid shape", kn[0], kn[1])
+		}
+	}
+	if _, err := Decode(map[int][]byte{0: make([]byte, 32)}, 0); err == nil {
+		t.Fatal("Decode accepted k=0")
+	}
+}
+
+// TestEncodeAtScaleShapes exercises the parallel column fan-out (payloads
+// over the minParallelCols threshold) and confirms the vectorized output
+// still round-trips through the slow decoder.
+func TestEncodeAtScaleShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	const k, n = 6, 16
+	data := make([]byte, 40*1024) // ≥ 64 columns at k=6
+	r.Read(data)
+	chunks, err := Encode(data, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := EncodeSlow(data, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range slow {
+		if !bytes.Equal(chunks[i], slow[i]) {
+			t.Fatalf("parallel encode chunk %d diverges from slow", i)
+		}
+	}
+	sub := map[int][]byte{}
+	for _, i := range []int{2, 5, 7, 9, 12, 15} {
+		sub[i] = chunks[i]
+	}
+	got, err := DecodeSlow(sub, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("slow decoder rejects the fast encoder's parity chunks")
+	}
+	gotF, err := Decode(sub, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotF, data) {
+		t.Fatal("fast decoder mismatch on mixed subset")
+	}
+}
+
+func ExampleCodec() {
+	c, _ := Get(2, 4)
+	chunks, _ := c.Encode([]byte("hi"))
+	payload, _ := c.Decode(map[int][]byte{1: chunks[1], 3: chunks[3]})
+	fmt.Println(string(payload))
+	// Output: hi
+}

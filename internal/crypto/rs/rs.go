@@ -1,13 +1,18 @@
-// Package rs implements Reed–Solomon erasure coding over the scalar field
-// via polynomial evaluation and interpolation. Encoding splits a payload
-// into k data chunks, extends them to n coded chunks; any k chunks recover
-// the payload. It backs the AVID-style reliable broadcast baseline
-// (Cachin–Tessaro '05, cited as [18]) used to reproduce the AJM+21 row of
-// Table 1.
+// Package rs implements systematic Reed–Solomon erasure coding over the
+// scalar field. Encoding splits a payload into k data chunks and extends
+// them to n coded chunks; any k chunks recover the payload, and the first k
+// chunks are the framed payload itself. It backs the AVID-style reliable
+// broadcast baseline (Cachin–Tessaro '05, cited as [18]) used to reproduce
+// the AJM+21 row of Table 1.
 //
 // Chunks embed field elements of 31 payload bytes each (one byte of
 // headroom below the modulus), so the rate overhead is 32/31 on top of the
 // n/k expansion — irrelevant to the asymptotic measurements.
+//
+// The production path is the cached-basis codec in codec.go (package-level
+// Encode/Decode and the Codec type); EncodeSlow/DecodeSlow keep the
+// original per-column evaluate/interpolate implementation as the
+// differential-testing oracle.
 package rs
 
 import (
@@ -21,31 +26,57 @@ import (
 // chunkBytes is the payload carried per field element.
 const chunkBytes = field.Size - 1
 
-// Encode splits data into k source chunks and extends to n coded chunks.
-// Chunk i is the concatenation of evaluations at point X(i) of the
-// per-column interpolation polynomials. The original length is prepended so
-// Decode can strip padding.
-func Encode(data []byte, k, n int) ([][]byte, error) {
-	if k <= 0 || n < k {
-		return nil, fmt.Errorf("rs: invalid k=%d n=%d", k, n)
-	}
-	// Prefix with length, pad to k*chunkBytes columns.
+// frame prepends the payload length and pads to whole k-symbol columns.
+func frame(data []byte, k int) (padded []byte, cols int) {
 	buf := make([]byte, 4+len(data))
 	binary.BigEndian.PutUint32(buf, uint32(len(data)))
 	copy(buf[4:], data)
-	cols := (len(buf) + k*chunkBytes - 1) / (k * chunkBytes)
+	cols = (len(buf) + k*chunkBytes - 1) / (k * chunkBytes)
 	if cols == 0 {
 		cols = 1
 	}
-	padded := make([]byte, cols*k*chunkBytes)
+	padded = make([]byte, cols*k*chunkBytes)
 	copy(padded, buf)
+	return padded, cols
+}
+
+// unframe strips the length prefix and padding from a decoded column
+// stream.
+func unframe(out []byte) ([]byte, error) {
+	if len(out) < 4 {
+		return nil, fmt.Errorf("rs: decoded payload too short")
+	}
+	n := binary.BigEndian.Uint32(out)
+	if int(n) > len(out)-4 {
+		return nil, fmt.Errorf("rs: corrupt length prefix %d", n)
+	}
+	return out[4 : 4+n], nil
+}
+
+// Encode splits data into k source chunks and extends to n coded chunks
+// through the memoized (k, n) codec; see Codec.Encode.
+func Encode(data []byte, k, n int) ([][]byte, error) {
+	c, err := Get(k, n)
+	if err != nil {
+		return nil, err
+	}
+	return c.Encode(data)
+}
+
+// EncodeSlow is the original per-column evaluate/interpolate encoder: each
+// column interpolates the k source symbols as evaluations at X(0…k−1) and
+// re-evaluates the polynomial at all n points. It is retained as the
+// differential oracle for Encode, which must produce byte-identical chunks.
+func EncodeSlow(data []byte, k, n int) ([][]byte, error) {
+	if k <= 0 || n < k {
+		return nil, fmt.Errorf("rs: invalid k=%d n=%d", k, n)
+	}
+	padded, cols := frame(data, k)
 
 	chunks := make([][]byte, n)
 	for i := range chunks {
 		chunks[i] = make([]byte, 0, cols*field.Size)
 	}
-	// For each column, interpolate the k source symbols as evaluations at
-	// X(0..k-1) and extend to X(0..n-1).
 	shares := make([]poly.Share, k)
 	for c := 0; c < cols; c++ {
 		for j := 0; j < k; j++ {
@@ -63,9 +94,12 @@ func Encode(data []byte, k, n int) ([][]byte, error) {
 	return chunks, nil
 }
 
-// Decode recovers the payload from at least k chunks. chunks maps chunk
-// index to content; all supplied chunks must be equal length.
-func Decode(chunks map[int][]byte, k int) ([]byte, error) {
+// DecodeSlow is the original interpolating decoder: it takes the first k
+// chunks in map-iteration order and, per column, interpolates the full
+// polynomial and re-evaluates it at X(0…k−1). Retained as the differential
+// oracle for Decode (which additionally fixes the chunk selection to the k
+// lowest indices, making its outcome deterministic on inconsistent input).
+func DecodeSlow(chunks map[int][]byte, k int) ([]byte, error) {
 	if len(chunks) < k {
 		return nil, fmt.Errorf("rs: %d chunks, need %d", len(chunks), k)
 	}
@@ -109,12 +143,5 @@ func Decode(chunks map[int][]byte, k int) ([]byte, error) {
 			out = append(out, v[1:]...)
 		}
 	}
-	if len(out) < 4 {
-		return nil, fmt.Errorf("rs: decoded payload too short")
-	}
-	n := binary.BigEndian.Uint32(out)
-	if int(n) > len(out)-4 {
-		return nil, fmt.Errorf("rs: corrupt length prefix %d", n)
-	}
-	return out[4 : 4+n], nil
+	return unframe(out)
 }

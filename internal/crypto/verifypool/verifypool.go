@@ -57,6 +57,32 @@ func New(workers int) *Pool {
 // Workers reports the pool's concurrency bound.
 func (p *Pool) Workers() int { return cap(p.sem) }
 
+// Par runs every task under the concurrency bound and returns when all have
+// completed. It is the pool's data-parallel face: callers that split a batch
+// of independent column/row work (the Reed–Solomon codec's per-column field
+// arithmetic) fan the pieces out here and inherit the pool's NumCPU-style
+// bound instead of spawning unbounded goroutines. The bound is per pool:
+// callers that want one CPU budget shared with verification work must pass
+// the same Pool instance. A single task runs inline on the caller with no
+// goroutine at all, so small batches pay nothing for the generality.
+func (p *Pool) Par(tasks []func()) {
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, task := range tasks {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			p.sem <- struct{}{}
+			fn()
+			<-p.sem
+		}(task)
+	}
+	wg.Wait()
+}
+
 // Do executes fn under the concurrency bound and returns its verdict. If
 // another Do with the same key is already in flight, the call waits for
 // that execution instead and returns its verdict with shared=true; fn runs

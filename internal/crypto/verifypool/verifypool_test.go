@@ -113,3 +113,39 @@ func TestBoundedConcurrency(t *testing.T) {
 		t.Fatalf("peak concurrency %d exceeds bound %d", pk, workers)
 	}
 }
+
+func TestParRunsEveryTaskUnderBound(t *testing.T) {
+	p := New(2)
+	var running, peak, done atomic.Int64
+	tasks := make([]func(), 16)
+	for i := range tasks {
+		tasks[i] = func() {
+			now := running.Add(1)
+			for {
+				prev := peak.Load()
+				if now <= prev || peak.CompareAndSwap(prev, now) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+			done.Add(1)
+		}
+	}
+	p.Par(tasks)
+	if done.Load() != 16 {
+		t.Fatalf("Par completed %d of 16 tasks", done.Load())
+	}
+	if peak.Load() > 2 {
+		t.Fatalf("Par ran %d tasks concurrently, bound is 2", peak.Load())
+	}
+}
+
+func TestParSingleTaskRunsInline(t *testing.T) {
+	p := New(1)
+	ran := false
+	p.Par([]func(){func() { ran = true }})
+	if !ran {
+		t.Fatal("single task not executed")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core/seeding"
+	"repro/internal/harness"
 	"repro/internal/sim"
 )
 
@@ -250,5 +252,76 @@ func TestAblationWCSBeatsRBCGather(t *testing.T) {
 	}
 	if w7.Msgs >= g7.Msgs {
 		t.Fatalf("WCS messages %d not below RBC-gather %d", w7.Msgs, g7.Msgs)
+	}
+}
+
+// TestRBCDataPlane: the n-broadcast AVID workload completes, its codec
+// counters are wired through Stats, and the systematic fast paths carry
+// real traffic (every delivery decodes, every consistency check re-encodes).
+func TestRBCDataPlane(t *testing.T) {
+	st, ops, err := RunRBCOps(RunSpec{N: 7, F: -1, Seed: 3}, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RSOps != ops.Ops() {
+		t.Fatalf("Stats.RSOps=%d diverges from codec counters %d", st.RSOps, ops.Ops())
+	}
+	// 7 broadcasts: each does ≥ 1 dispersal encode + 7 re-encode checks
+	// and 7 decodes.
+	if ops.Encodes < 7*8 || ops.Decodes < 7*7 {
+		t.Fatalf("codec op counts too low for 7 broadcasts: %+v", ops)
+	}
+	if ops.SystematicDecodes > ops.Decodes {
+		t.Fatalf("systematic decodes exceed decodes: %+v", ops)
+	}
+	if st.Bytes == 0 || st.Msgs == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+// TestRBCDataPlaneTolerates crashes: with f crashed senders the remaining
+// honest broadcasts still complete.
+func TestRBCDataPlaneCrashTolerance(t *testing.T) {
+	st, err := RunRBC(RunSpec{N: 7, F: -1, Seed: 4, Crash: 2}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RSOps == 0 {
+		t.Fatal("RSOps not recorded")
+	}
+}
+
+// TestSeedingScriptVerifyDedupBudget extends the ADKG dedup guard to the
+// Seeding leader path: the leader must verify each contributor's unit
+// script cold at receipt (at most n of them, at least 2f+1), and then ride
+// those verdicts compositionally for its aggregate — zero cold aggregate
+// verifications cluster-wide, with Composed booking the byte-equality fast
+// path instead.
+func TestSeedingScriptVerifyDedupBudget(t *testing.T) {
+	const n = 7
+	c, err := harness.NewCluster(n, -1, 1, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(map[int]bool)
+	c.EachHonest(func(i int) {
+		s := seeding.New(c.Net.Node(i), "sd", c.Keys[i], 0, func([seeding.SeedSize]byte) {
+			done[i] = true
+		})
+		s.Start()
+	})
+	if err := c.Net.Run(sim.DefaultDeliveryBudget, func() bool { return len(done) == n }); err != nil {
+		t.Fatal(err)
+	}
+	ss := c.ScriptVerifyStats()
+	if ss.Verifies > n {
+		t.Fatalf("seeding performed %d cold script verifies, budget %d (unit receipts only) — leader composition regressed",
+			ss.Verifies, n)
+	}
+	if ss.Verifies < int64(2*c.F+1) {
+		t.Fatalf("only %d cold verifies — the leader cannot have checked a 2f+1 quorum", ss.Verifies)
+	}
+	if ss.Composed < 1 {
+		t.Fatal("aggregate was never validated compositionally")
 	}
 }

@@ -89,7 +89,7 @@ func (t *tracker) stats() Stats {
 		N: t.c.N, F: t.c.F,
 		Msgs: tl.Msgs, Bytes: tl.Bytes,
 		Rounds: t.rounds, Steps: t.c.Steps(), Verifies: t.c.Verifies(),
-		ScriptVerifies: t.c.ScriptVerifies(),
+		ScriptVerifies: t.c.ScriptVerifies(), RSOps: t.c.RSOps(),
 	}
 }
 

@@ -26,10 +26,12 @@ import (
 	"repro/internal/core/beacon"
 	"repro/internal/core/coin"
 	"repro/internal/core/election"
+	"repro/internal/core/rbc"
 	"repro/internal/core/seeding"
 	"repro/internal/core/vba"
 	"repro/internal/core/wcs"
 	"repro/internal/crypto/field"
+	"repro/internal/crypto/rs"
 	"repro/internal/crypto/scache"
 	"repro/internal/crypto/vcache"
 	"repro/internal/harness"
@@ -52,6 +54,10 @@ type Stats struct {
 	// work the cluster's script cache could not dedup. Cluster-cumulative,
 	// like Verifies.
 	ScriptVerifies int64
+	// RSOps counts Reed–Solomon codec operations (systematic encodes +
+	// cached-basis decodes) driven by the run's AVID broadcasts — the
+	// erasure-coding data-plane counterpart of Verifies/ScriptVerifies.
+	RSOps int64
 }
 
 func (s Stats) String() string {
@@ -96,7 +102,7 @@ func collectStats(c *harness.Cluster, rounds int) Stats {
 		N: c.N, F: c.F,
 		Msgs: m.Honest.Msgs, Bytes: m.Honest.Bytes,
 		Rounds: rounds, Steps: c.Net.Steps(), Verifies: c.Verifies(),
-		ScriptVerifies: c.ScriptVerifies(),
+		ScriptVerifies: c.ScriptVerifies(), RSOps: c.RSOps(),
 	}
 }
 
@@ -334,6 +340,62 @@ func RunSeeding(spec RunSpec) (Stats, error) {
 		return Stats{}, fmt.Errorf("seeding run: %w", err)
 	}
 	return collectStats(c, rounds), nil
+}
+
+// RunRBC measures the AVID erasure-coded broadcast data plane under the
+// n-broadcast pattern one VBA view drives: every honest party disperses a
+// payload-byte value under its own instance tag, and the run completes when
+// every honest party has delivered every honest sender's broadcast. The
+// returned Stats carry the RSOps the workload pushed through the cached-
+// basis codec.
+func RunRBC(spec RunSpec, payload int) (Stats, error) {
+	st, _, err := RunRBCOps(spec, payload)
+	return st, err
+}
+
+// RunRBCOps is RunRBC plus the cluster's Reed–Solomon codec counters,
+// quantifying the data-plane shape: systematic encodes, cached-basis
+// decodes, how many decodes hit the zero-field-work concatenation path, and
+// the field multiplications the parity rows cost.
+func RunRBCOps(spec RunSpec, payload int) (Stats, rs.Stats, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return Stats{}, rs.Stats{}, err
+	}
+	delivered := make(map[int]int)
+	rounds := 0
+	honest := c.Honest()
+	insts := make([][]*rbc.AVID, c.N)
+	c.EachHonest(func(i int) {
+		insts[i] = make([]*rbc.AVID, c.N)
+		for j := 0; j < c.N; j++ {
+			insts[i][j] = rbc.NewAVID(c.Net.Node(i), fmt.Sprintf("rb/%d", j), j, func([]byte) {
+				delivered[i]++
+				if d := c.Net.Node(i).Depth(); d > rounds {
+					rounds = d
+				}
+			})
+		}
+	})
+	c.EachHonest(func(j int) {
+		value := make([]byte, payload)
+		for m := range value {
+			value[m] = byte(31*j + m)
+		}
+		insts[j][j].Start(value)
+	})
+	err = c.Net.Run(spec.steps(), func() bool {
+		for i, got := range delivered {
+			if c.Byz[i] || got < honest {
+				return false
+			}
+		}
+		return len(delivered) == honest
+	})
+	if err != nil {
+		return Stats{}, rs.Stats{}, fmt.Errorf("rbc run: %w", err)
+	}
+	return collectStats(c, rounds), c.RSStats(), nil
 }
 
 // RunVBADedup executes one validated BA and additionally reports the

@@ -164,6 +164,32 @@ func adkgDedupRun(rs RunSpec) (Outcome, error) {
 	}}, nil
 }
 
+// rbcRun sweeps the AVID data plane (n broadcasts of a fixed payload).
+func rbcRun(payload int) func(RunSpec) (Outcome, error) {
+	return statsRun(func(rs RunSpec) (Stats, error) { return RunRBC(rs, payload) })
+}
+
+// rbcOpsRun is rbcRun plus the Reed–Solomon codec counters: rs-encodes and
+// rs-decodes are the codec operations the broadcasts drove, rs-systematic
+// the decodes answered by the zero-field-work concatenation fast path, and
+// rs-field-muls the parity dot-product multiplications actually spent.
+// Basis/codec cache-build counts are process-history-dependent (the caches
+// are package-wide by design), so runs feeding a committed artifact execute
+// with one worker — see the CI bench-artifact job.
+func rbcOpsRun(spec RunSpec) (Outcome, error) {
+	st, ops, err := RunRBCOps(spec, 4096)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Stats: st, Extra: map[string]float64{
+		"rs-encodes":        float64(ops.Encodes),
+		"rs-decodes":        float64(ops.Decodes),
+		"rs-systematic":     float64(ops.SystematicDecodes),
+		"rs-parity-symbols": float64(ops.ParitySymbols),
+		"rs-field-muls":     float64(ops.FieldMuls),
+	}}, nil
+}
+
 func beaconRun(epochs int) func(RunSpec) (Outcome, error) {
 	return func(rs RunSpec) (Outcome, error) {
 		out, err := RunBeacon(rs, epochs)
@@ -384,6 +410,16 @@ func init() {
 		Ns: sweepNs, Trials: 3, Run: statsRun(RunSeeding),
 	})
 
+	// RBC data plane: the AVID broadcast's erasure-coding path, swept to
+	// n=16 now that the cached-basis systematic codec removed the
+	// per-column interpolation (encode reuses the source chunks verbatim;
+	// decode from the k systematic chunks is pure concatenation).
+	Register(Spec{
+		Name: "rbc/avid", Group: "rbc", Tags: []string{"rbc"},
+		Title: "n AVID broadcasts (4 KiB)", Claim: "Θ(n·|m| + λn²·log n)",
+		Ns: []int{4, 7, 16}, Trials: 2, Run: rbcRun(4096),
+	})
+
 	// Design ablations.
 	Register(Spec{
 		Name: "ablation/rbc-gather", Group: "ablation",
@@ -454,6 +490,15 @@ func init() {
 		Name: "dedup/adkg-verifies", Group: "dedup", Tags: []string{"session"},
 		Title: "ADKG script-verify dedup factor", Claim: "≥ n× fewer cold verifies",
 		Ns: smallNs, Trials: 2, Genesis: []byte("dedup"), Run: adkgDedupRun,
+	})
+
+	// RS codec op shape: how much field work the n-RBC workload leaves
+	// after the systematic fast paths; rs-systematic / rs-decodes is the
+	// zero-cost-decode rate.
+	Register(Spec{
+		Name: "dedup/rs-ops", Group: "dedup", Tags: []string{"rbc"},
+		Title: "RS codec ops per n-RBC run", Claim: "systematic decodes dominate",
+		Ns: []int{4, 7, 16}, Trials: 2, Run: rbcOpsRun,
 	})
 
 	// Concurrent-instance session suite: many protocol instances multiplexed

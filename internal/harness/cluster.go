@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/crypto/rs"
 	"repro/internal/crypto/scache"
 	"repro/internal/crypto/vcache"
 	"repro/internal/livenet"
@@ -42,6 +43,7 @@ type Cluster struct {
 
 	drv     proto.Driver
 	liveDrv *livenet.Driver // non-nil on the live runtimes; fails waiters on Close
+	rs0     rs.Stats        // rs codec counters at construction (RSStats baseline)
 }
 
 // Options tune simulator cluster construction.
@@ -87,6 +89,7 @@ func NewCluster(n, f int, seed int64, opts Options) (*Cluster, error) {
 	c := &Cluster{
 		N: n, F: f, Net: nw, Keys: keys, Board: board, Byz: opts.Byzantine,
 		drv: sim.NewDriver(nw, opts.Budget),
+		rs0: rs.Snapshot(),
 	}
 	if c.Byz == nil {
 		c.Byz = map[int]bool{}
@@ -137,6 +140,7 @@ func NewLiveCluster(n, f int, seed int64, opts LiveOptions) (*Cluster, error) {
 	return &Cluster{
 		N: n, F: f, Live: nw, Keys: keys, Board: board, Byz: byz,
 		drv: drv, liveDrv: drv,
+		rs0: rs.Snapshot(),
 	}, nil
 }
 
@@ -229,6 +233,19 @@ func (c *Cluster) ScriptVerifyStats() scache.Stats {
 // cluster-wide — the multi-pairing work the script cache could not dedup
 // away.
 func (c *Cluster) ScriptVerifies() int64 { return c.ScriptVerifyStats().Verifies }
+
+// RSStats reports the Reed–Solomon codec work performed since the cluster
+// was built. The rs counters (and the codec/basis caches behind them) are
+// process-wide rather than per-cluster — the same reuse discipline as the
+// bases themselves — so the delta attributes exactly when clusters run
+// serially and approximately when they overlap; serial execution is what
+// the dedup specs and the CI artifact job use.
+func (c *Cluster) RSStats() rs.Stats { return rs.Snapshot().Delta(c.rs0) }
+
+// RSOps reports the codec operations (encodes + decodes) the cluster's
+// protocols drove through the RBC data plane — the erasure-coding
+// counterpart of Verifies/ScriptVerifies.
+func (c *Cluster) RSOps() int64 { return c.RSStats().Ops() }
 
 // Depth reports party i's current causal depth (0 on the live runtime).
 func (c *Cluster) Depth(i int) int { return c.Runtime(i).Depth() }

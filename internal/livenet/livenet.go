@@ -17,10 +17,12 @@
 package livenet
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math/rand"
 	"net"
 	"strings"
@@ -120,6 +122,12 @@ func (nw *Network) ByInstance(tag string) Tally {
 
 type transport interface {
 	send(from, to int, inst string, body []byte)
+	// flush pushes any frames buffered on node `from`'s outbound
+	// connections to the wire. Dispatchers call it when their queue
+	// drains (flush-on-idle), which is what makes per-peer write
+	// coalescing safe: a node never blocks waiting for input while its
+	// own output sits in a buffer.
+	flush(from int)
 	close()
 }
 
@@ -210,6 +218,45 @@ func (nw *Network) Close() {
 			nd.done.Wait()
 		}
 	})
+}
+
+// TCPStats aggregates the TCP transport's write-coalescing counters across
+// all peer connections. Zero on the Channels transport.
+type TCPStats struct {
+	Frames   int64 // protocol frames handed to the transport
+	Syscalls int64 // socket Write calls that carried them (flushes + overflow write-throughs)
+	Dropped  int64 // frames lost to write/flush errors
+}
+
+// TCPStats reports the transport's framing counters; Frames/Syscalls is
+// the achieved write-coalescing factor.
+func (nw *Network) TCPStats() TCPStats {
+	tr, ok := nw.tr.(*tcpTransport)
+	if !ok {
+		return TCPStats{}
+	}
+	var out TCPStats
+	for _, p := range tr.peers {
+		out.Frames += p.frames.Load()
+		out.Syscalls += p.conn.writes.Load()
+		out.Dropped += p.drops.Load()
+	}
+	return out
+}
+
+// PeerDrops reports the frames lost on the (from, to) TCP connection — the
+// per-peer drop counter behind TCPStats.Dropped. Zero on the Channels
+// transport and for self-sends.
+func (nw *Network) PeerDrops(from, to int) int64 {
+	tr, ok := nw.tr.(*tcpTransport)
+	if !ok {
+		return 0
+	}
+	p := tr.peers[[2]int{from, to}]
+	if p == nil {
+		return 0
+	}
+	return p.drops.Load()
 }
 
 // Rejected reports the total malformed messages dropped across nodes.
@@ -309,6 +356,16 @@ func (nd *Node) dispatch() {
 	defer nd.done.Done()
 	for {
 		nd.mu.Lock()
+		if len(nd.queue) == 0 && !nd.closed {
+			// Going idle: everything this node sent while draining the
+			// queue must reach the wire before we sleep. The flush runs
+			// outside nd.mu so inbound enqueues are never blocked behind
+			// a syscall; the re-check below catches anything that raced
+			// in meanwhile.
+			nd.mu.Unlock()
+			nd.nw.tr.flush(nd.idx)
+			nd.mu.Lock()
+		}
 		for len(nd.queue) == 0 && !nd.closed {
 			nd.cond.Wait()
 		}
@@ -353,25 +410,78 @@ func (c *chanTransport) send(from, to int, inst string, body []byte) {
 	c.nw.nodes[to].enqueue(from, inst, b)
 }
 
+func (c *chanTransport) flush(int) {}
+
 func (c *chanTransport) close() {}
 
 // --- TCP transport ---
 
+// tcpWriteBuffer sizes each peer connection's coalescing buffer: large
+// enough to absorb a whole multicast burst of protocol frames between
+// dispatcher-idle flushes, small enough that n² connections stay cheap.
+const tcpWriteBuffer = 64 * 1024
+
+// countingConn counts the Write calls that actually reach the socket —
+// the syscall side of the frames-per-syscall coalescing metric.
+type countingConn struct {
+	net.Conn
+	writes atomic.Int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	c.writes.Add(1)
+	return c.Conn.Write(p)
+}
+
+// tcpPeer is one ordered (from, to) connection with a coalescing writer.
+// All writer state is guarded by mu; the counters are atomics so the stats
+// accessors never contend with in-flight writes.
+type tcpPeer struct {
+	from, to int
+
+	mu   sync.Mutex
+	conn *countingConn
+	bw   *bufio.Writer
+	// pending counts the frames still sitting in bw — the frames a failed
+	// flush would actually lose. A bufio write-through (buffer overflow
+	// mid-burst) delivers older frames to the wire, so send() re-derives
+	// pending from the buffer state instead of counting monotonically;
+	// otherwise a later failed flush would charge frames that were already
+	// delivered as dropped.
+	pending int64
+	logged  bool // first write failure logged (subsequent ones only count)
+
+	frames atomic.Int64 // frames accepted for this peer
+	drops  atomic.Int64 // frames known lost to write/flush errors
+}
+
+// fail books a failed write of `frames` frames; callers hold p.mu. The
+// first failure per peer is logged, the rest only count — a dead peer at
+// n=16 would otherwise log once per frame.
+func (p *tcpPeer) fail(frames int64, err error) {
+	p.drops.Add(frames)
+	if !p.logged {
+		p.logged = true
+		log.Printf("livenet: tcp write %d→%d failed, dropping frames: %v", p.from, p.to, err)
+	}
+}
+
 type tcpTransport struct {
 	nw        *Network
 	listeners []net.Listener
-	mu        sync.Mutex
-	conns     map[[2]int]net.Conn // [from][to] -> outbound conn
-	wmu       map[[2]int]*sync.Mutex
-	closed    atomic.Bool
-	readers   sync.WaitGroup
+	// peers and bySender are written only during construction and
+	// read-only afterwards, so send/flush need no transport-level lock.
+	peers    map[[2]int]*tcpPeer
+	bySender [][]*tcpPeer // outbound connections indexed by sending node
+	closed   atomic.Bool
+	readers  sync.WaitGroup
 }
 
 func newTCPTransport(nw *Network) (*tcpTransport, error) {
 	tr := &tcpTransport{
-		nw:    nw,
-		conns: make(map[[2]int]net.Conn),
-		wmu:   make(map[[2]int]*sync.Mutex),
+		nw:       nw,
+		peers:    make(map[[2]int]*tcpPeer),
+		bySender: make([][]*tcpPeer, nw.n),
 	}
 	addrs := make([]string, nw.n)
 	for i := 0; i < nw.n; i++ {
@@ -400,12 +510,18 @@ func newTCPTransport(nw *Network) (*tcpTransport, error) {
 			var hello [4]byte
 			binary.BigEndian.PutUint32(hello[:], uint32(from))
 			if _, err := conn.Write(hello[:]); err != nil {
+				conn.Close()
 				tr.close()
 				return nil, err
 			}
-			key := [2]int{from, to}
-			tr.conns[key] = conn
-			tr.wmu[key] = &sync.Mutex{}
+			cc := &countingConn{Conn: conn}
+			p := &tcpPeer{
+				from: from, to: to,
+				conn: cc,
+				bw:   bufio.NewWriterSize(cc, tcpWriteBuffer),
+			}
+			tr.peers[[2]int{from, to}] = p
+			tr.bySender[from] = append(tr.bySender[from], p)
 		}
 	}
 	return tr, nil
@@ -454,6 +570,11 @@ func (tr *tcpTransport) readLoop(conn net.Conn, to int) {
 	}
 }
 
+// send frames the message into the peer's coalescing buffer. The syscall
+// happens later: at the sender's dispatcher-idle flush, or inline when the
+// buffer overflows (bufio writes through). Write errors are no longer
+// swallowed — each failed frame is counted against the peer (PeerDrops,
+// TCPStats.Dropped) and the first failure per peer is logged.
 func (tr *tcpTransport) send(from, to int, inst string, body []byte) {
 	if tr.closed.Load() {
 		return
@@ -462,11 +583,8 @@ func (tr *tcpTransport) send(from, to int, inst string, body []byte) {
 		tr.nw.nodes[to].enqueue(from, inst, append([]byte(nil), body...))
 		return
 	}
-	key := [2]int{from, to}
-	tr.mu.Lock()
-	conn, mu := tr.conns[key], tr.wmu[key]
-	tr.mu.Unlock()
-	if conn == nil {
+	p := tr.peers[[2]int{from, to}]
+	if p == nil {
 		return
 	}
 	frame := make([]byte, 6+len(inst)+len(body))
@@ -474,9 +592,43 @@ func (tr *tcpTransport) send(from, to int, inst string, body []byte) {
 	binary.BigEndian.PutUint16(frame[4:6], uint16(len(inst)))
 	copy(frame[6:], inst)
 	copy(frame[6+len(inst):], body)
-	mu.Lock()
-	_, _ = conn.Write(frame)
-	mu.Unlock()
+	p.mu.Lock()
+	p.frames.Add(1)
+	prevBuffered := p.bw.Buffered()
+	if _, err := p.bw.Write(frame); err != nil {
+		// bufio sticks on its first error, so earlier buffered frames are
+		// already accounted by the failing flush; this charge covers only
+		// the frame that just failed.
+		p.fail(1, err)
+	} else {
+		switch buffered := p.bw.Buffered(); {
+		case buffered == 0:
+			// Write-through: everything, this frame included, hit the wire.
+			p.pending = 0
+		case buffered < prevBuffered+len(frame):
+			// Overflow flush delivered the older frames; only this frame
+			// (possibly a suffix of it) still sits in the buffer.
+			p.pending = 1
+		default:
+			p.pending++
+		}
+	}
+	p.mu.Unlock()
+}
+
+// flush drains node `from`'s outbound buffers to the wire.
+func (tr *tcpTransport) flush(from int) {
+	for _, p := range tr.bySender[from] {
+		p.mu.Lock()
+		if p.pending > 0 {
+			n := p.pending
+			p.pending = 0
+			if err := p.bw.Flush(); err != nil {
+				p.fail(n, err)
+			}
+		}
+		p.mu.Unlock()
+	}
 }
 
 func (tr *tcpTransport) close() {
@@ -484,11 +636,17 @@ func (tr *tcpTransport) close() {
 	for _, ln := range tr.listeners {
 		_ = ln.Close()
 	}
-	tr.mu.Lock()
-	for _, c := range tr.conns {
-		_ = c.Close()
+	for _, p := range tr.peers {
+		p.mu.Lock()
+		if p.pending > 0 {
+			// Best-effort final drain; failures are shutdown noise, not
+			// protocol drops.
+			_ = p.bw.Flush()
+			p.pending = 0
+		}
+		_ = p.conn.Close()
+		p.mu.Unlock()
 	}
-	tr.mu.Unlock()
 }
 
 // Crash makes the node drop all future deliveries and jobs — a

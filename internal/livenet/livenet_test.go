@@ -234,3 +234,86 @@ func TestCrashedNodeToleratedOnLiveRuntime(t *testing.T) {
 		}
 	}
 }
+
+// TestTCPWriteCoalescing measures the frames-per-syscall gain of the
+// per-peer buffered writers: a burst of sends issued within one dispatcher
+// job must reach the wire in a handful of socket writes (flush-on-idle),
+// not one syscall per frame as the old transport paid.
+func TestTCPWriteCoalescing(t *testing.T) {
+	nw, err := New(Config{N: 2, F: 0, Seed: 5, Transport: TCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	const burst = 200
+	got := make(chan struct{}, burst)
+	nw.Node(1).Register("x", proto.HandlerFunc(func(int, []byte) { got <- struct{}{} }))
+	nw.Node(0).Do(func() {
+		for i := 0; i < burst; i++ {
+			nw.Node(0).Send("x", 1, []byte("coalesce-me"))
+		}
+	})
+	collect(t, got, burst, 5*time.Second)
+	st := nw.TCPStats()
+	if st.Frames != burst {
+		t.Fatalf("frames=%d, want %d", st.Frames, burst)
+	}
+	if st.Syscalls == 0 || st.Syscalls > burst/4 {
+		t.Fatalf("coalescing regressed: %d frames took %d syscalls", st.Frames, st.Syscalls)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("dropped %d frames on a healthy connection", st.Dropped)
+	}
+	t.Logf("frames=%d syscalls=%d (%.1f frames/syscall)",
+		st.Frames, st.Syscalls, float64(st.Frames)/float64(st.Syscalls))
+}
+
+// TestTCPWriteFailureCounted pins the end of the silently-swallowed send
+// error: once a peer connection dies, every frame addressed to it is
+// counted against that peer's drop counter and surfaced through TCPStats.
+func TestTCPWriteFailureCounted(t *testing.T) {
+	nw, err := New(Config{N: 2, F: 0, Seed: 6, Transport: TCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	tr := nw.tr.(*tcpTransport)
+	p := tr.peers[[2]int{0, 1}]
+	_ = p.conn.Conn.Close() // kill the socket under the writer
+	const burst = 10
+	nw.Node(0).Do(func() {
+		for i := 0; i < burst; i++ {
+			nw.Node(0).Send("x", 1, []byte("doomed"))
+		}
+	})
+	deadline := time.After(5 * time.Second)
+	for nw.PeerDrops(0, 1) < burst {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d of %d failed frames counted", nw.PeerDrops(0, 1), burst)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if st := nw.TCPStats(); st.Dropped < burst {
+		t.Fatalf("TCPStats.Dropped=%d, want ≥ %d", st.Dropped, burst)
+	}
+	if nw.PeerDrops(1, 0) != 0 {
+		t.Fatal("healthy reverse connection booked drops")
+	}
+}
+
+// TestChannelsTransportReportsZeroTCPStats keeps the stats surface honest
+// on the in-process transport.
+func TestChannelsTransportReportsZeroTCPStats(t *testing.T) {
+	nw, err := New(Config{N: 2, F: 0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	if st := nw.TCPStats(); st != (TCPStats{}) {
+		t.Fatalf("channels transport reported %+v", st)
+	}
+	if nw.PeerDrops(0, 1) != 0 {
+		t.Fatal("channels transport reported peer drops")
+	}
+}

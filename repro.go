@@ -295,12 +295,17 @@ type Stats struct {
 	// multi-pairing work the cluster's script cache could not dedup away.
 	// Cluster-cumulative, like Verifies.
 	ScriptVerifies int64
+	// RSOps counts Reed–Solomon codec operations (systematic encodes plus
+	// cached-basis decodes) performed by the cluster's AVID broadcasts.
+	// Cluster-cumulative, like Verifies.
+	RSOps int64
 }
 
 func stats(s exp.Stats) Stats {
 	return Stats{
 		Messages: s.Msgs, Bytes: s.Bytes, Rounds: s.Rounds,
 		Verifies: s.Verifies, ScriptVerifies: s.ScriptVerifies,
+		RSOps: s.RSOps,
 	}
 }
 
