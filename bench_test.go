@@ -22,7 +22,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/crypto/field"
 	"repro/internal/crypto/pairing"
@@ -425,6 +428,94 @@ func BenchmarkRSDecode(b *testing.B) {
 	b.Run("fast-systematic", run(systematic, rs.Decode))
 	b.Run("fast-parity", run(parity, rs.Decode))
 	b.Run("slow", run(parity, rs.DecodeSlow))
+}
+
+// BenchmarkABCThroughput drives the streaming ledger end to end through the
+// public API — Submit against mempool backpressure, BKR parallel-broadcast
+// slots, verified identical delivery — and reports wall-clock throughput
+// and commit latency:
+//
+//	tx-per-sec/op   committed transactions per wall-clock second
+//	lat-ms-mean/op  mean Submit→commit latency (ms)
+//	lat-ms-p95/op   nearest-rank p95 Submit→commit latency (ms)
+//	slots/op        committed slots carrying transactions
+//
+// The deterministic (hardware-independent) throughput trajectory lives in
+// BENCH_abc.json via the abc/* registry specs; this benchmark is the
+// wall-clock smoke CI runs on every push.
+func BenchmarkABCThroughput(b *testing.B) {
+	for _, bc := range []struct {
+		name       string
+		n, txs     int
+		batchBytes int
+	}{
+		{"n4-b256", 4, 48, 256},
+		{"n7-b1k", 7, 96, 1024},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var txTotal, slotTotal int
+			var lats []float64
+			for i := 0; i < b.N; i++ {
+				c, err := NewCluster(bc.n, WithSeed(int64(i)+1), WithGenesisNonce([]byte("bench")))
+				if err != nil {
+					b.Fatal(err)
+				}
+				l, err := c.NewLedger("log", WithBatchBytes(bc.batchBytes))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var mu sync.Mutex
+				submitted := make(map[string]time.Time, bc.txs)
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for commit := range l.Committed() {
+						now := time.Now()
+						mu.Lock()
+						slotTotal++
+						for _, e := range commit.Entries {
+							for _, tx := range e.Txs {
+								if t0, ok := submitted[string(tx)]; ok {
+									lats = append(lats, float64(now.Sub(t0))/float64(time.Millisecond))
+								}
+								txTotal++
+							}
+						}
+						mu.Unlock()
+					}
+				}()
+				for q := 0; q < bc.txs; q++ {
+					tx := make([]byte, 64)
+					copy(tx, fmt.Sprintf("bench-tx-%d-%d", i, q))
+					mu.Lock()
+					submitted[string(tx)] = time.Now()
+					mu.Unlock()
+					if err := l.Submit(context.Background(), tx); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := l.Stop(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				<-done
+				c.Close()
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(txTotal)/sec, "tx-per-sec/op")
+			}
+			b.ReportMetric(float64(slotTotal)/float64(b.N), "slots/op")
+			if len(lats) > 0 {
+				total := 0.0
+				for _, l := range lats {
+					total += l
+				}
+				b.ReportMetric(total/float64(len(lats)), "lat-ms-mean/op")
+				sorted := append([]float64(nil), lats...)
+				sort.Float64s(sorted)
+				b.ReportMetric(sorted[(95*len(sorted)+99)/100-1], "lat-ms-p95/op")
+			}
+		})
+	}
 }
 
 // BenchmarkRBCAtScale runs the rbc/avid registry spec at the top of its

@@ -12,6 +12,7 @@
 //	go run ./cmd/benchtable -exp table1 -json -parallel  # machine-readable artifact on stdout
 //	go run ./cmd/benchtable -exp table1 -json -out BENCH_table1.json
 //	go run ./cmd/benchtable -exp rbc,dedup/rs-ops -workers 1   # RS data-plane sweep (serial: exact codec counters)
+//	go run ./cmd/benchtable -exp abc -json -parallel     # atomic-broadcast ledger throughput sweep
 //
 // Selectors name specs ("e1/coin-pki"), groups ("e1".."e11", "ablation",
 // "adv", "mux", "rbc") or tags ("table1", "sched", "session", "rbc"); "all"
@@ -236,6 +237,27 @@ func printExtras(s exp.SpecReport) {
 	}
 	if d, ok := last.Extra["rs-field-muls"]; ok {
 		parts = append(parts, fmt.Sprintf("rs field-muls %.0f", d.Mean))
+	}
+	if d, ok := last.Extra["tx-per-kstep"]; ok {
+		parts = append(parts, fmt.Sprintf("tx/kstep %.2f", d.Mean))
+	}
+	if d, ok := last.Extra["tx-per-round"]; ok {
+		parts = append(parts, fmt.Sprintf("tx/round %.2f", d.Mean))
+	}
+	if d, ok := last.Extra["lat-rounds-mean"]; ok {
+		if p, ok2 := last.Extra["lat-rounds-p95"]; ok2 {
+			parts = append(parts, fmt.Sprintf("commit latency rounds %.1f (p95 %.1f)", d.Mean, p.Mean))
+		} else {
+			parts = append(parts, fmt.Sprintf("commit latency rounds %.1f", d.Mean))
+		}
+	}
+	if d, ok := last.Extra["occupancy"]; ok {
+		parts = append(parts, fmt.Sprintf("slot occupancy %.0f%%", 100*d.Mean))
+	}
+	if d, ok := last.Extra["txs"]; ok {
+		if s, ok2 := last.Extra["slots"]; ok2 {
+			parts = append(parts, fmt.Sprintf("%.0f txs over %.0f slots", d.Mean, s.Mean))
+		}
 	}
 	if len(parts) > 0 {
 		fmt.Printf("%-34s    · %s\n", "", strings.Join(parts, ", "))

@@ -1,18 +1,18 @@
 // Replicated log: the paper's motivating application class (§1.3 — BFT
 // state-machine replication over the unstable wide-area network). Seven
-// replicas, two of them crashed, sequence a log of transaction batches on
-// ONE long-lived cluster: the bulletin-PKI setup runs once, and each slot
-// is a validated Byzantine agreement instance — every replica proposes its
-// own pending batch, the VBA's external-validity predicate rejects
-// malformed batches, and all honest replicas append the same batch. All
-// slots are launched up front and decided concurrently; the log assembles
-// in slot order as the handles resolve.
+// replicas, two of them crashed, sequence client transactions on ONE
+// long-lived cluster through the streaming ledger API: Submit spreads the
+// transactions across the replicas' mempools, every replica's batch rides
+// its own broadcast, and n concurrent binary agreements per slot commit a
+// common subset of batches — so throughput scales with the replica count
+// instead of serializing one agreement per slot. The Committed stream is
+// ordered and identical at every honest replica; Stop drains in-band and
+// closes the stream after the agreed final slot.
 //
 //	go run ./examples/replicated-log
 package main
 
 import (
-	"bytes"
 	"context"
 	"fmt"
 	"log"
@@ -20,14 +20,8 @@ import (
 	"repro"
 )
 
-const slots = 3
-
-func validBatch(v []byte) bool {
-	return bytes.HasPrefix(v, []byte("batch|")) && len(v) < 256
-}
-
 func main() {
-	const n, crashed = 7, 2
+	const n, crashed, txs = 7, 2, 21
 	cluster, err := repro.NewCluster(n,
 		repro.WithSeed(9000),
 		repro.WithCrashed(crashed),
@@ -37,35 +31,42 @@ func main() {
 	}
 	defer cluster.Close()
 
-	handles := make([]*repro.VBAHandle, slots)
-	for slot := 0; slot < slots; slot++ {
-		proposals := make([][]byte, n)
-		for i := range proposals {
-			proposals[i] = []byte(fmt.Sprintf("batch|slot=%d|replica=%d|tx=transfer(%d→%d)", slot, i, i, (i+1)%n))
-		}
-		h, err := cluster.Agree(fmt.Sprintf("slot%d", slot), proposals, validBatch)
-		if err != nil {
-			log.Fatalf("slot %d: %v", slot, err)
-		}
-		handles[slot] = h // all slots decide concurrently on the shared network
+	ledger, err := cluster.NewLedger("log", repro.WithBatchBytes(128))
+	if err != nil {
+		log.Fatalf("ledger: %v", err)
 	}
 
-	var logOut [][]byte
-	for slot, h := range handles {
-		res, err := h.Wait(context.Background())
-		if err != nil {
-			log.Fatalf("slot %d: %v", slot, err)
+	// Consume the ordered commit stream as it flows; every honest replica
+	// sees these slots byte-identically.
+	streamed := make(chan int, 1)
+	go func() {
+		total := 0
+		for commit := range ledger.Committed() {
+			for _, entry := range commit.Entries {
+				total += len(entry.Txs)
+				fmt.Printf("slot %2d ← replica %d: %d tx (first: %s)\n",
+					commit.Slot, entry.Origin, len(entry.Txs), entry.Txs[0])
+			}
 		}
-		logOut = append(logOut, res.Value)
-		fmt.Printf("slot %d committed: %-50s (%d bytes, %d rounds)\n",
-			slot, res.Value, res.Stats.Bytes, res.Stats.Rounds)
+		streamed <- total
+	}()
+
+	for q := 0; q < txs; q++ {
+		tx := fmt.Sprintf("transfer(%d→%d)#%d", q%n, (q+1)%n, q)
+		if err := ledger.Submit(context.Background(), []byte(tx)); err != nil {
+			log.Fatalf("submit %d: %v", q, err)
+		}
 	}
 
-	fmt.Printf("\nreplicated log after %d slots (identical at every honest replica, %d crashed tolerated):\n",
-		slots, crashed)
-	for i, entry := range logOut {
-		fmt.Printf("  [%d] %s\n", i, entry)
+	leftover, err := ledger.Stop(context.Background())
+	if err != nil {
+		log.Fatalf("stop: %v", err)
 	}
-	fmt.Printf("total agreement traffic: %d bytes — one PKI setup for the whole log\n",
+	total := <-streamed
+
+	fmt.Printf("\nreplicated log drained: %d/%d transactions committed, %d returned by Stop "+
+		"(identical at every honest replica, %d crashed tolerated)\n",
+		total, txs, len(leftover), crashed)
+	fmt.Printf("total ledger traffic: %d bytes — one PKI setup for the whole log\n",
 		cluster.Stats().Bytes)
 }

@@ -42,6 +42,7 @@ type ABC struct {
 
 	slot      int
 	committed [][]byte
+	delivered map[int]bool // slots already committed (idempotence guard)
 	started   bool
 }
 
@@ -56,13 +57,14 @@ func New(rt proto.Runtime, inst string, keys *pki.Keyring, pred vba.Predicate, c
 		cfg.Slots = 1
 	}
 	return &ABC{
-		rt:      &wrapped{rt},
-		inst:    inst,
-		keys:    keys,
-		pred:    pred,
-		cfg:     cfg,
-		propose: propose,
-		deliver: deliver,
+		rt:        &wrapped{rt},
+		inst:      inst,
+		keys:      keys,
+		pred:      pred,
+		cfg:       cfg,
+		propose:   propose,
+		deliver:   deliver,
+		delivered: make(map[int]bool),
 	}
 }
 
@@ -75,10 +77,14 @@ func (l *ABC) Start() {
 	l.runSlot(0)
 }
 
-// Committed returns the locally committed prefix of the log.
+// Committed returns a snapshot of the locally committed prefix of the log.
+// The batches are deep-copied: the caller may mutate them (or hold them
+// across later commits) without aliasing the live log.
 func (l *ABC) Committed() [][]byte {
 	out := make([][]byte, len(l.committed))
-	copy(out, l.committed)
+	for i, b := range l.committed {
+		out[i] = append([]byte(nil), b...)
+	}
 	return out
 }
 
@@ -92,9 +98,13 @@ func (l *ABC) runSlot(slot int) {
 }
 
 func (l *ABC) onCommit(slot int, batch []byte) {
-	if slot != l.slot {
-		return // defensive: VBA delivers once per instance
+	// Idempotence under duplicate completion signals is tracked per slot,
+	// not inferred from the slot counter: a replayed signal for the current
+	// slot must not append twice even if the counter has not yet moved.
+	if l.delivered[slot] || slot != l.slot {
+		return
 	}
+	l.delivered[slot] = true
 	l.committed = append(l.committed, batch)
 	l.slot++
 	l.deliver(slot, batch)

@@ -76,6 +76,9 @@ func (a *AVID) Start(value []byte) {
 		return
 	}
 	root := tree.Root()
+	// The sender just proved (root, value) by construction; seed the dedup
+	// cache so its own delivery-time verification is a hit.
+	seedRoot(a.k, a.rt.N(), root, value)
 	for i := 0; i < a.rt.N(); i++ {
 		proof, perr := tree.Prove(i)
 		if perr != nil {
@@ -226,13 +229,10 @@ func (a *AVID) maybeDeliver(root merkle.Root) {
 	// work — and those MUST be recomputed rather than reused from received
 	// echoes, because the root check is what pins every chunk (including
 	// ones this party never saw) to the unique degree-<k polynomial behind
-	// `value`, with the zero padding the framing prescribes.
-	chunks, err := a.codec.Encode(value)
-	if err != nil {
-		return
-	}
-	tree, err := merkle.Build(chunks)
-	if err != nil || tree.Root() != root {
+	// `value`, with the zero padding the framing prescribes. verifyRoot
+	// dedups the recompute across parties: a (root, payload) pair any party
+	// already verified is answered from a bounded cache.
+	if !verifyRoot(a.codec, a.k, a.rt.N(), root, value) {
 		return
 	}
 	a.delivered = true

@@ -48,6 +48,14 @@ type Stats struct {
 	BasisBuilds int64
 	CodecHits   int64
 	CodecBuilds int64
+	// TreeHits/TreeBuilds count AVID parity-recompute traffic: a "build" is a
+	// full re-encode + Merkle rebuild verifying a decoded value against its
+	// root, a "hit" is the same verification answered by the dedup cache. The
+	// counters live here (incremented by the rbc package via NoteTreeHit /
+	// NoteTreeBuild) so harness.RSStats surfaces them alongside the codec
+	// work they avoid.
+	TreeHits   int64
+	TreeBuilds int64
 }
 
 var counters struct {
@@ -55,7 +63,15 @@ var counters struct {
 	paritySymbols, fieldMuls     atomic.Int64
 	basisHits, basisBuilds       atomic.Int64
 	codecHits, codecBuilds       atomic.Int64
+	treeHits, treeBuilds         atomic.Int64
 }
+
+// NoteTreeHit records an AVID re-encode verification answered by the
+// dedup cache (no codec or Merkle work performed).
+func NoteTreeHit() { counters.treeHits.Add(1) }
+
+// NoteTreeBuild records a full AVID re-encode + Merkle rebuild verification.
+func NoteTreeBuild() { counters.treeBuilds.Add(1) }
 
 // Snapshot returns the current process-wide counter values.
 func Snapshot() Stats {
@@ -69,6 +85,8 @@ func Snapshot() Stats {
 		BasisBuilds:       counters.basisBuilds.Load(),
 		CodecHits:         counters.codecHits.Load(),
 		CodecBuilds:       counters.codecBuilds.Load(),
+		TreeHits:          counters.treeHits.Load(),
+		TreeBuilds:        counters.treeBuilds.Load(),
 	}
 }
 
@@ -85,6 +103,8 @@ func (s Stats) Delta(t Stats) Stats {
 		BasisBuilds:       s.BasisBuilds - t.BasisBuilds,
 		CodecHits:         s.CodecHits - t.CodecHits,
 		CodecBuilds:       s.CodecBuilds - t.CodecBuilds,
+		TreeHits:          s.TreeHits - t.TreeHits,
+		TreeBuilds:        s.TreeBuilds - t.TreeBuilds,
 	}
 }
 

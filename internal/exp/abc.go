@@ -1,0 +1,321 @@
+package exp
+
+// Atomic-broadcast throughput runners: the BKR parallel-broadcast
+// common-subset engine (abc.Engine) and the slot-serial VBA ledger it
+// replaces, measured under one workload shape so the pipelining gain is a
+// like-for-like ratio. All throughput metrics are deterministic functions of
+// the seeded run — transactions per 1000 simulator deliveries, transactions
+// per causal round, and per-slot commit latency in causal rounds (committing
+// party's depth at commit minus depth at slot launch, maximized over honest
+// parties) — so the committed BENCH_abc.json artifact is diff-gateable.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/core/abc"
+	"repro/internal/core/vba"
+	"repro/internal/harness"
+)
+
+// ABCConfig shapes one atomic-broadcast throughput run.
+type ABCConfig struct {
+	Slots       int  // fixed slot horizon (≥ 1)
+	BatchBytes  int  // per-batch byte bound drawn from the mempool
+	TxBytes     int  // size of each synthetic transaction
+	TxPerParty  int  // transactions preloaded per honest party
+	MaxInFlight int  // pipeline depth (≤ 0 = engine default)
+	Serial      bool // run the slot-serial VBA baseline instead of the engine
+}
+
+// ABCOutcome is the result of RunABC.
+type ABCOutcome struct {
+	Stats  Stats
+	Agreed bool // all honest logs identical, slot by slot
+	Slots  int  // slots committed
+	Txs    int  // transactions committed across all slots
+	// TxPerKStep is transactions committed per 1000 simulator deliveries —
+	// the deterministic throughput metric (wall-clock tx/s lives in the
+	// BenchmarkABCThroughput smoke, not in the committed artifact).
+	TxPerKStep float64
+	// TxPerRound is transactions per causal round at completion; pipelining
+	// raises it by overlapping slot rounds.
+	TxPerRound float64
+	// LatMeanRounds/LatP95Rounds summarize per-slot commit latency in causal
+	// rounds (max over honest parties per slot; p95 by nearest rank).
+	LatMeanRounds float64
+	LatP95Rounds  float64
+	// Occupancy is the mean committed-set size per slot over n — ≥ (n−f)/n
+	// for the engine by the BKR vote rule, 1/n for the serial baseline.
+	Occupancy float64
+}
+
+// ABCInstance is one parallel-broadcast engine launched per honest party on
+// a cluster.
+type ABCInstance struct {
+	t       *tracker
+	logs    map[int][][]abc.Entry
+	launchD map[int][]int // causal depth at each local slot launch, in order
+	commitD map[int][]int // causal depth at each slot commit, in order
+}
+
+// LaunchABC wires one abc.Engine per honest party under tag; pools[i] feeds
+// party i's batches (preload before launching, or submit concurrently on
+// the live runtime). The instance completes when every honest engine
+// delivers its final slot, so cfg must bound the run (MaxSlots, or a
+// RequestStop driven externally).
+func LaunchABC(c *harness.Cluster, tag string, cfg abc.EngineConfig, pools []*abc.Mempool) *ABCInstance {
+	ai := &ABCInstance{
+		t:       newTracker(c, tag),
+		logs:    make(map[int][][]abc.Entry),
+		launchD: make(map[int][]int),
+		commitD: make(map[int][]int),
+	}
+	c.EachHonest(func(i int) {
+		pcfg := cfg
+		pcfg.OnLaunch = func(int) {
+			c.Update(func() { ai.launchD[i] = append(ai.launchD[i], c.Depth(i)) })
+		}
+		c.Launch(i, func() {
+			eng := abc.NewEngine(c.Runtime(i), tag, c.Keys[i], pcfg, pools[i],
+				func(slot int, entries []abc.Entry) {
+					c.Update(func() {
+						ai.logs[i] = append(ai.logs[i], entries)
+						ai.commitD[i] = append(ai.commitD[i], c.Depth(i))
+						ai.t.bump(i)
+					})
+				},
+				func(int) {
+					c.Update(func() { ai.t.report(i) })
+				})
+			eng.Start()
+		})
+	})
+	return ai
+}
+
+// Wait blocks until every honest engine finished its log.
+func (ai *ABCInstance) Wait(ctx context.Context) error { return ai.t.wait(ctx) }
+
+// Outcome aggregates the instance after Wait returned nil.
+func (ai *ABCInstance) Outcome() ABCOutcome {
+	c := ai.t.c
+	out := ABCOutcome{Agreed: true}
+	var ref [][]abc.Entry
+	haveRef := false
+	c.EachHonest(func(i int) {
+		if !haveRef {
+			ref, haveRef = ai.logs[i], true
+		} else if !sameLog(ref, ai.logs[i]) {
+			out.Agreed = false
+		}
+	})
+	out.Slots = len(ref)
+	totalEntries := 0
+	for _, entries := range ref {
+		totalEntries += len(entries)
+		for _, e := range entries {
+			out.Txs += len(e.Txs)
+		}
+	}
+	out.LatMeanRounds, out.LatP95Rounds = latencySummary(c, ai.launchD, ai.commitD, out.Slots)
+	out.Stats = ai.t.stats()
+	finishThroughput(&out, totalEntries, c.N)
+	return out
+}
+
+// RunABC executes one fixed-horizon atomic-broadcast run: cfg.Slots slots
+// over a fresh cluster, each honest party preloaded with cfg.TxPerParty
+// synthetic transactions.
+func RunABC(spec RunSpec, cfg ABCConfig) (ABCOutcome, error) {
+	if cfg.Serial {
+		return runABCSerial(spec, cfg)
+	}
+	c, err := spec.cluster()
+	if err != nil {
+		return ABCOutcome{}, err
+	}
+	pools := preloadPools(c, cfg)
+	inst := LaunchABC(c, "abc", abc.EngineConfig{
+		Coin:        spec.coinCfg(),
+		BatchBytes:  cfg.BatchBytes,
+		MaxInFlight: cfg.MaxInFlight,
+		MaxSlots:    cfg.Slots,
+	}, pools)
+	if err := inst.Wait(context.Background()); err != nil {
+		return ABCOutcome{}, fmt.Errorf("abc run: %w", err)
+	}
+	return inst.Outcome(), nil
+}
+
+// runABCSerial is the slot-serial baseline under the engine's workload
+// shape: one VBA per slot picks a single party's batch; losers requeue. It
+// shares the ABCOutcome metrics so the pipelining gain reads directly off
+// tx-per-kstep.
+func runABCSerial(spec RunSpec, cfg ABCConfig) (ABCOutcome, error) {
+	c, err := spec.cluster()
+	if err != nil {
+		return ABCOutcome{}, err
+	}
+	pools := preloadPools(c, cfg)
+	type ownBatch struct {
+		enc []byte
+		txs [][]byte
+	}
+	t := newTracker(c, "abc")
+	logs := make(map[int][][]byte)
+	launchD := make(map[int][]int)
+	commitD := make(map[int][]int)
+	own := make(map[int][]ownBatch)
+	valid := func(v []byte) bool { _, _, derr := abc.DecodeBatch(v); return derr == nil }
+	c.EachHonest(func(i int) {
+		c.Launch(i, func() {
+			l := abc.New(c.Runtime(i), "abc", c.Keys[i], valid,
+				abc.Config{VBA: vba.Config{Coin: spec.coinCfg()}, Slots: cfg.Slots},
+				func(int) []byte {
+					txs := pools[i].Take(cfg.BatchBytes)
+					enc := abc.EncodeBatch(txs, false)
+					c.Update(func() {
+						own[i] = append(own[i], ownBatch{enc: enc, txs: txs})
+						launchD[i] = append(launchD[i], c.Depth(i))
+					})
+					return enc
+				},
+				func(slot int, batch []byte) {
+					c.Update(func() {
+						logs[i] = append(logs[i], batch)
+						commitD[i] = append(commitD[i], c.Depth(i))
+						if slot < len(own[i]) && !bytes.Equal(batch, own[i][slot].enc) {
+							pools[i].Requeue(own[i][slot].txs)
+						}
+						t.bump(i)
+						if len(logs[i]) == cfg.Slots {
+							t.report(i)
+						}
+					})
+				})
+			l.Start()
+		})
+	})
+	if err := t.wait(context.Background()); err != nil {
+		return ABCOutcome{}, fmt.Errorf("abc serial run: %w", err)
+	}
+	out := ABCOutcome{Agreed: true}
+	var ref [][]byte
+	haveRef := false
+	c.EachHonest(func(i int) {
+		if !haveRef {
+			ref, haveRef = logs[i], true
+			return
+		}
+		if len(logs[i]) != len(ref) {
+			out.Agreed = false
+			return
+		}
+		for s := range ref {
+			if !bytes.Equal(logs[i][s], ref[s]) {
+				out.Agreed = false
+			}
+		}
+	})
+	out.Slots = len(ref)
+	for _, batch := range ref {
+		if txs, _, derr := abc.DecodeBatch(batch); derr == nil {
+			out.Txs += len(txs)
+		}
+	}
+	out.LatMeanRounds, out.LatP95Rounds = latencySummary(c, launchD, commitD, out.Slots)
+	out.Stats = t.stats()
+	finishThroughput(&out, out.Slots, c.N) // one committed batch per slot
+	return out, nil
+}
+
+// preloadPools builds each honest party's mempool and fills it with
+// deterministic synthetic transactions.
+func preloadPools(c *harness.Cluster, cfg ABCConfig) []*abc.Mempool {
+	pools := make([]*abc.Mempool, c.N)
+	c.EachHonest(func(i int) {
+		pools[i] = abc.NewMempool(2*cfg.TxPerParty*cfg.TxBytes + 64)
+		for q := 0; q < cfg.TxPerParty; q++ {
+			tx := make([]byte, cfg.TxBytes)
+			copy(tx, fmt.Sprintf("tx/p%d/%d/", i, q))
+			for m := range tx {
+				if tx[m] == 0 {
+					tx[m] = byte(31*i + 7*q + m)
+				}
+			}
+			// The pool is sized to hold the whole preload; Submit never blocks.
+			_ = pools[i].Submit(context.Background(), tx)
+		}
+	})
+	return pools
+}
+
+// latencySummary reduces per-party launch/commit depth traces to the
+// per-slot commit latency distribution: for each slot the max over honest
+// parties of (commit depth − launch depth), then mean and nearest-rank p95.
+func latencySummary(c *harness.Cluster, launchD, commitD map[int][]int, slots int) (mean, p95 float64) {
+	var lats []float64
+	for s := 0; s < slots; s++ {
+		worst := 0.0
+		c.EachHonest(func(i int) {
+			if s < len(commitD[i]) && s < len(launchD[i]) {
+				if d := float64(commitD[i][s] - launchD[i][s]); d > worst {
+					worst = d
+				}
+			}
+		})
+		lats = append(lats, worst)
+	}
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	total := 0.0
+	for _, l := range lats {
+		total += l
+	}
+	mean = total / float64(len(lats))
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	rank := (95*len(sorted) + 99) / 100 // ceil(0.95·n), nearest-rank
+	p95 = sorted[rank-1]
+	return mean, p95
+}
+
+// finishThroughput derives the per-step and per-round throughput fields
+// from the already-populated Stats and tx count.
+func finishThroughput(out *ABCOutcome, totalEntries, n int) {
+	if out.Stats.Steps > 0 {
+		out.TxPerKStep = float64(out.Txs) * 1000 / float64(out.Stats.Steps)
+	}
+	if out.Stats.Rounds > 0 {
+		out.TxPerRound = float64(out.Txs) / float64(out.Stats.Rounds)
+	}
+	if out.Slots > 0 {
+		out.Occupancy = float64(totalEntries) / float64(out.Slots*n)
+	}
+}
+
+func sameLog(a, b [][]abc.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for s := range a {
+		if len(a[s]) != len(b[s]) {
+			return false
+		}
+		for j := range a[s] {
+			if a[s][j].Origin != b[s][j].Origin || len(a[s][j].Txs) != len(b[s][j].Txs) {
+				return false
+			}
+			for k := range a[s][j].Txs {
+				if !bytes.Equal(a[s][j].Txs[k], b[s][j].Txs[k]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,44 @@
+package exp
+
+import "testing"
+
+// abcAcceptSpec is the like-for-like workload both ledgers run at n=7 — the
+// same shape as the committed abc/pipe-b256 and abc/serial-b256 artifact
+// cells.
+var abcAcceptSpec = ABCConfig{Slots: 4, BatchBytes: 256, TxBytes: 64, TxPerParty: 16}
+
+// TestABCPipelineAtLeastTwiceSerial is the PR's acceptance gate: the BKR
+// parallel-broadcast engine moves at least 2× the transactions per unit of
+// network work of the slot-serial VBA ledger on the same spec — on both
+// throughput axes (per simulator delivery and per causal round).
+func TestABCPipelineAtLeastTwiceSerial(t *testing.T) {
+	spec := RunSpec{N: 7, F: -1, Seed: 5, Genesis: []byte("abc-accept")}
+	pipe, err := RunABC(spec, abcAcceptSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := abcAcceptSpec
+	serial.Serial = true
+	base, err := RunABC(spec, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pipe.Agreed || !base.Agreed {
+		t.Fatalf("agreement: pipe=%v serial=%v", pipe.Agreed, base.Agreed)
+	}
+	if pipe.TxPerKStep < 2*base.TxPerKStep {
+		t.Fatalf("tx/kstep %.2f not ≥ 2× serial %.2f", pipe.TxPerKStep, base.TxPerKStep)
+	}
+	if pipe.TxPerRound < 2*base.TxPerRound {
+		t.Fatalf("tx/round %.2f not ≥ 2× serial %.2f", pipe.TxPerRound, base.TxPerRound)
+	}
+	// The structural reason: a BKR slot commits ≥ n−f batches while the
+	// serial ledger commits exactly one.
+	nf := float64(7-2) / 7
+	if pipe.Occupancy < nf {
+		t.Fatalf("pipe occupancy %.2f below (n−f)/n = %.2f", pipe.Occupancy, nf)
+	}
+	if base.Occupancy >= nf {
+		t.Fatalf("serial occupancy %.2f unexpectedly at BKR levels", base.Occupancy)
+	}
+}

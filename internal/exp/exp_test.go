@@ -257,7 +257,8 @@ func TestAblationWCSBeatsRBCGather(t *testing.T) {
 
 // TestRBCDataPlane: the n-broadcast AVID workload completes, its codec
 // counters are wired through Stats, and the systematic fast paths carry
-// real traffic (every delivery decodes, every consistency check re-encodes).
+// real traffic (every delivery decodes; every consistency check is
+// answered by the (root, value-digest) Merkle-tree cache or a rebuild).
 func TestRBCDataPlane(t *testing.T) {
 	st, ops, err := RunRBCOps(RunSpec{N: 7, F: -1, Seed: 3}, 2048)
 	if err != nil {
@@ -266,10 +267,17 @@ func TestRBCDataPlane(t *testing.T) {
 	if st.RSOps != ops.Ops() {
 		t.Fatalf("Stats.RSOps=%d diverges from codec counters %d", st.RSOps, ops.Ops())
 	}
-	// 7 broadcasts: each does ≥ 1 dispersal encode + 7 re-encode checks
-	// and 7 decodes.
-	if ops.Encodes < 7*8 || ops.Decodes < 7*7 {
+	// 7 broadcasts: each does ≥ 1 dispersal encode and 7 decodes, and each
+	// of its 7 per-party consistency checks is served by the parity-dedup
+	// tree cache (seeded at dispersal) or, on a miss, a full rebuild.
+	if ops.Encodes < 7 || ops.Decodes < 7*7 {
 		t.Fatalf("codec op counts too low for 7 broadcasts: %+v", ops)
+	}
+	if ops.TreeHits+ops.TreeBuilds < 7*7 {
+		t.Fatalf("consistency checks unaccounted for (want ≥ 49 tree hits+builds): %+v", ops)
+	}
+	if ops.TreeHits == 0 {
+		t.Fatalf("parity-dedup cache never hit across the cluster: %+v", ops)
 	}
 	if ops.SystematicDecodes > ops.Decodes {
 		t.Fatalf("systematic decodes exceed decodes: %+v", ops)

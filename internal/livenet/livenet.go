@@ -52,7 +52,18 @@ type Config struct {
 	// Jitter is the maximum random delivery delay for the Channels
 	// transport (0 = immediate). It creates real asynchrony.
 	Jitter time.Duration
+	// FlushEvery bounds how long a frame may sit in a TCP peer's
+	// coalescing buffer: a background timer flushes all pending buffers at
+	// this period, so frame latency stays bounded even when a dispatcher
+	// never goes idle and the 64 KiB overflow write-through never fires
+	// (sustained small-frame load). 0 selects defaultFlushEvery; ignored
+	// by the Channels transport.
+	FlushEvery time.Duration
 }
+
+// defaultFlushEvery is the TCP max-frame-latency flush period when
+// Config.FlushEvery is zero.
+const defaultFlushEvery = 2 * time.Millisecond
 
 // Network is a running live cluster.
 type Network struct {
@@ -186,7 +197,7 @@ func New(cfg Config) (*Network, error) {
 	case Channels:
 		nw.tr = &chanTransport{nw: nw, jitter: cfg.Jitter}
 	case TCP:
-		tr, err := newTCPTransport(nw)
+		tr, err := newTCPTransport(nw, cfg.FlushEvery)
 		if err != nil {
 			return nil, fmt.Errorf("livenet: tcp transport: %w", err)
 		}
@@ -474,14 +485,16 @@ type tcpTransport struct {
 	peers    map[[2]int]*tcpPeer
 	bySender [][]*tcpPeer // outbound connections indexed by sending node
 	closed   atomic.Bool
+	stop     chan struct{} // closed once; stops the timer flusher
 	readers  sync.WaitGroup
 }
 
-func newTCPTransport(nw *Network) (*tcpTransport, error) {
+func newTCPTransport(nw *Network, flushEvery time.Duration) (*tcpTransport, error) {
 	tr := &tcpTransport{
 		nw:       nw,
 		peers:    make(map[[2]int]*tcpPeer),
 		bySender: make([][]*tcpPeer, nw.n),
+		stop:     make(chan struct{}),
 	}
 	addrs := make([]string, nw.n)
 	for i := 0; i < nw.n; i++ {
@@ -524,7 +537,30 @@ func newTCPTransport(nw *Network) (*tcpTransport, error) {
 			tr.bySender[from] = append(tr.bySender[from], p)
 		}
 	}
+	if flushEvery <= 0 {
+		flushEvery = defaultFlushEvery
+	}
+	go tr.flushLoop(flushEvery)
 	return tr, nil
+}
+
+// flushLoop is the max-frame-latency bound: dispatcher-idle flushes and the
+// bufio overflow write-through both fail to fire under sustained small-frame
+// load (the queue never drains and the buffer never fills), so a timer
+// sweeps every pending buffer to the wire each period.
+func (tr *tcpTransport) flushLoop(every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tr.stop:
+			return
+		case <-tick.C:
+			for _, p := range tr.peers {
+				flushPeer(p)
+			}
+		}
+	}
 }
 
 func (tr *tcpTransport) acceptLoop(ln net.Listener, to int) {
@@ -619,20 +655,29 @@ func (tr *tcpTransport) send(from, to int, inst string, body []byte) {
 // flush drains node `from`'s outbound buffers to the wire.
 func (tr *tcpTransport) flush(from int) {
 	for _, p := range tr.bySender[from] {
-		p.mu.Lock()
-		if p.pending > 0 {
-			n := p.pending
-			p.pending = 0
-			if err := p.bw.Flush(); err != nil {
-				p.fail(n, err)
-			}
-		}
-		p.mu.Unlock()
+		flushPeer(p)
 	}
 }
 
+// flushPeer drains one peer's buffer; a no-op when nothing is pending, so
+// the timer sweep costs only a mutex round-trip per quiet peer.
+func flushPeer(p *tcpPeer) {
+	p.mu.Lock()
+	if p.pending > 0 {
+		n := p.pending
+		p.pending = 0
+		if err := p.bw.Flush(); err != nil {
+			p.fail(n, err)
+		}
+	}
+	p.mu.Unlock()
+}
+
 func (tr *tcpTransport) close() {
-	tr.closed.Store(true)
+	if !tr.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(tr.stop)
 	for _, ln := range tr.listeners {
 		_ = ln.Close()
 	}

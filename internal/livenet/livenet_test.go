@@ -2,6 +2,7 @@ package livenet
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -315,5 +316,41 @@ func TestChannelsTransportReportsZeroTCPStats(t *testing.T) {
 	}
 	if nw.PeerDrops(0, 1) != 0 {
 		t.Fatal("channels transport reported peer drops")
+	}
+}
+
+// TestTCPTimerFlushBoundsFrameLatency pins the max-frame-latency flush: a
+// sender whose dispatcher never goes idle (each job enqueues its successor
+// before returning, so the flush-on-idle path never runs) and whose frames
+// total far under the 64 KiB overflow threshold still gets every frame to
+// the wire, because the background timer sweeps pending buffers each period.
+func TestTCPTimerFlushBoundsFrameLatency(t *testing.T) {
+	nw, err := New(Config{N: 2, F: 0, Seed: 8, Transport: TCP, FlushEvery: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	const frames = 100 // ~3 KiB total: the overflow write-through never fires
+	got := make(chan struct{}, frames)
+	nw.Node(1).Register("x", proto.HandlerFunc(func(int, []byte) { got <- struct{}{} }))
+	var stop atomic.Bool
+	var job func()
+	sent := 0
+	job = func() {
+		if stop.Load() {
+			return
+		}
+		nw.Node(0).Do(job) // successor first: the queue never drains
+		if sent < frames {
+			sent++
+			nw.Node(0).Send("x", 1, []byte("timer-flush-me"))
+		}
+		time.Sleep(200 * time.Microsecond) // sustained, not hot-spinning
+	}
+	nw.Node(0).Do(job)
+	collect(t, got, frames, 10*time.Second)
+	stop.Store(true)
+	if st := nw.TCPStats(); st.Dropped != 0 {
+		t.Fatalf("dropped %d frames on a healthy connection", st.Dropped)
 	}
 }
