@@ -155,11 +155,13 @@ func (e *Engine) NotifyWork() { e.tryLaunch() }
 // RequestStop begins drain: once the mempool empties, this party's batches
 // carry the stop flag, and the first slot committing only flagged batches
 // finalizes the log. Every honest party must eventually be asked to stop,
-// or the flagged slots keep admitting unflagged batches. Drain is
-// exactly-once into the log with one caveat: if the adversary excludes this
-// party's batch from the final slot itself, its transactions are requeued
-// into the mempool with no later slot to carry them — callers needing them
-// must inspect the pool after finish (the Ledger layer reports leftovers).
+// or the flagged slots keep admitting unflagged batches. Drain conserves
+// transactions: every batch taken from the mempool either commits in a
+// delivered slot or is requeued at finish — both a batch the adversary
+// excludes from the final slot and batches in pipelined slots the final
+// slot outruns. Requeued transactions have no later slot to carry them;
+// callers needing them must inspect the pool after finish (the Ledger
+// layer reports leftovers).
 func (e *Engine) RequestStop() {
 	if e.stopping {
 		return
@@ -269,6 +271,17 @@ func (e *Engine) handle(_ int, body []byte) {
 		e.rt.Reject()
 		return
 	}
+	// Clamp the honored index to one pipeline window past the local launch
+	// frontier. With f faulty parties a slot delivers only with every live
+	// party's participation, so an honest peer's launch frontier stays
+	// within MaxInFlight of every party's launched count and the clamp
+	// never truncates its WAKEs (with fewer faults, the peer's subsequent
+	// per-launch WAKEs re-pull incrementally). A Byzantine WAKE naming a
+	// far-future slot therefore drags this party at most MaxInFlight empty
+	// slots forward per message, instead of 2^30 off a single forgery.
+	if limit := e.launched + e.cfg.MaxInFlight; s >= limit {
+		s = limit - 1
+	}
 	if s+1 > e.force {
 		e.force = s + 1
 	}
@@ -361,6 +374,7 @@ func (e *Engine) drainReady() {
 		if e.streaming() && allStop || !e.streaming() && e.next == e.cfg.MaxSlots {
 			e.finished = true
 			e.final = st.index
+			e.reclaimPipelined()
 			if e.done != nil {
 				e.done(st.index)
 			}
@@ -368,6 +382,25 @@ func (e *Engine) drainReady() {
 		}
 	}
 	e.tryLaunch()
+}
+
+// reclaimPipelined requeues this party's batches from slots launched past
+// the final slot — the pipelining edge of finish. Those slots' outcomes are
+// discarded identically at every party (nothing delivers past the final
+// slot), so the transactions their myTxs hold would otherwise be lost: they
+// left the mempool, will never commit, and Ledger.Stop's leftover sweep
+// only inspects pools. Every undelivered slot sits in e.slots (e.ready is a
+// subset), and at finish all of them have index > final; the sweep walks
+// them in descending slot order so Requeue's prepends restore take order.
+func (e *Engine) reclaimPipelined() {
+	for s := e.launched - 1; s >= e.next; s-- {
+		st, ok := e.slots[s]
+		if !ok || len(st.myTxs) == 0 {
+			continue
+		}
+		e.pool.Requeue(st.myTxs)
+		st.myTxs = nil
+	}
 }
 
 // assemble decodes the slot's committed set in origin order. Malformed

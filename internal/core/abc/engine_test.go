@@ -11,6 +11,7 @@ import (
 	"repro/internal/core/coin"
 	"repro/internal/harness"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // slotLog records one party's view of the committed log.
@@ -326,6 +327,104 @@ func TestEngineQuiescesWhenIdle(t *testing.T) {
 		t.Fatal(err)
 	}
 	fx.checkIdentical(t)
+}
+
+// TestEngineFinishRequeuesPipelinedBatches forces transactions into a
+// pipelined slot past the final slot and asserts conservation. Party 0
+// holds two batches at stop time, so it launches slot 1 (carrying batch B)
+// while slot 0 (batch A) is still in flight; a partition isolating party 0
+// lets parties 1-3 vote its slot-0 broadcast out and commit slot 0
+// all-stop among their own flagged empty batches. Slot 0 is therefore
+// final and slot 1 is discarded identically everywhere, so neither A nor B
+// commits: A must come back via the final-slot exclusion requeue, and B
+// via the finish-time reclaim of pipelined slots — before that reclaim, B
+// was silently lost (it had left the pool, and Ledger.Stop's leftover
+// sweep only inspects pools).
+func TestEngineFinishRequeuesPipelinedBatches(t *testing.T) {
+	const n, f = 4, 1
+	coins := func(inst string) aba.CoinFactory { return aba.TestCoins(inst) }
+	sched := sim.NewPartition(map[int]bool{0: true}, 3000, nil)
+	fx := setupEngines(t, n, f, 8, harness.Options{Scheduler: sched},
+		engCfg(EngineConfig{BatchBytes: 64, MaxInFlight: 2, Coins: coins}))
+	// Two 40-byte txs against 64-byte batches: slot 0's Take carries only
+	// tx A, leaving tx B for pipelined slot 1.
+	txA := make([]byte, 40)
+	copy(txA, "tx|p0|A")
+	txB := make([]byte, 40)
+	copy(txB, "tx|p0|B")
+	for _, tx := range [][]byte{txA, txB} {
+		if err := fx.pools[0].Submit(context.Background(), tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fx.start()
+	fx.c.EachHonest(func(i int) { fx.engines[i].RequestStop() })
+	if err := fx.c.Net.Run(sim.DefaultDeliveryBudget, fx.allDone()); err != nil {
+		t.Fatal(err)
+	}
+	fx.checkIdentical(t)
+	// The scenario must actually have armed: party 0 pipelined a slot past
+	// the agreed final slot 0 (otherwise the test exercises nothing).
+	lg := fx.logs[0]
+	if lg.final != 0 || len(lg.launchO) < 2 {
+		t.Fatalf("scenario did not arm: final=%d, launched=%v (want final slot 0 with a pipelined slot past it)",
+			lg.final, lg.launchO)
+	}
+	got := committedTxs(lg)
+	pooled := make(map[string]int)
+	for !fx.pools[0].Empty() {
+		for _, tx := range fx.pools[0].Take(1 << 30) {
+			pooled[string(tx)]++
+		}
+	}
+	// Conservation: each tx is committed exactly once or back in the pool
+	// exactly once — never lost, never duplicated.
+	for _, tx := range []string{string(txA), string(txB)} {
+		if got[tx]+pooled[tx] != 1 {
+			t.Fatalf("tx %q committed %d times and pooled %d times; want exactly one of the two",
+				tx, got[tx], pooled[tx])
+		}
+	}
+	if got[string(txB)] != 0 {
+		t.Fatalf("tx B committed despite its slot being past the final slot — premise broken")
+	}
+}
+
+// TestEngineWakeClampBoundsForcedSlots: a forged WAKE naming a far-future
+// slot must pull the engines forward by at most one pipeline window of
+// empty slots per forged message, not launch toward 2^30 — and must not
+// wedge subsequent real work. One forgery is sent to party 0; the honest
+// WAKEs of the slots it is dragged into then pull the rest of the cluster,
+// so every party's damage is bounded by the same window.
+func TestEngineWakeClampBoundsForcedSlots(t *testing.T) {
+	const n, f = 4, 1
+	fx := setupEngines(t, n, f, 9, harness.Options{}, engCfg(EngineConfig{BatchBytes: 64, MaxInFlight: 2}))
+	fx.start()
+	var w wire.Writer
+	w.Byte(engWake)
+	w.Int(1 << 20)
+	fx.c.Net.Inject(n-1, 0, "acs", w.Bytes())
+	if err := fx.c.Net.Run(sim.DefaultDeliveryBudget, func() bool { return false }); err == nil {
+		t.Fatal("network never quiesced after the forged WAKE")
+	} else if stall, ok := err.(*sim.StallError); !ok || !stall.Drained {
+		t.Fatalf("expected drained quiescence after bounded catch-up, got %v", err)
+	}
+	fx.c.EachHonest(func(i int) {
+		if got := len(fx.logs[i].launchO); got > 2 {
+			t.Fatalf("node %d launched %d slots off one forged WAKE, want <= MaxInFlight = 2", i, got)
+		}
+	})
+	// The clamp must not cost liveness: real work still commits.
+	if err := fx.pools[2].Submit(context.Background(), []byte("tx|post-wake")); err != nil {
+		t.Fatal(err)
+	}
+	fx.engines[2].NotifyWork()
+	committed := func() bool {
+		return committedTxs(fx.logs[2])["tx|post-wake"] == 1
+	}
+	if err := fx.c.Net.Run(sim.DefaultDeliveryBudget, committed); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestBatchCodecRoundTrip(t *testing.T) {

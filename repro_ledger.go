@@ -24,6 +24,11 @@ import (
 // ErrLedgerStopped is returned by Ledger.Submit once Stop has begun.
 var ErrLedgerStopped = errors.New("repro: ledger stopped")
 
+// ErrLedgerAbandoned is the terminal error recorded when the pump is
+// aborted because the consumer stopped draining Committed() and a Stop
+// caller's ctx expired waiting on the wedged drain.
+var ErrLedgerAbandoned = errors.New("repro: ledger commit stream abandoned (consumer stopped draining)")
+
 // LedgerOption tunes NewLedger.
 type LedgerOption func(*ledgerOptions)
 
@@ -63,7 +68,9 @@ type SlotCommit struct {
 // Ledger is a streaming atomic-broadcast log on a Cluster. Submit and Stop
 // are safe for concurrent use; Committed's channel must be drained by the
 // consumer (an undrained stream backpressures the pump, and Stop cannot
-// complete).
+// complete). An abandoned stream is recoverable: when a Stop caller's ctx
+// expires against the wedged drain, the pump is aborted — the stream
+// closes and Err reports ErrLedgerAbandoned instead of the pump leaking.
 type Ledger struct {
 	c       *Cluster
 	tag     string
@@ -73,6 +80,9 @@ type Ledger struct {
 	out     chan SlotCommit
 	kick    chan struct{} // wakeup latch for the pump (buffered, size 1)
 	done    chan struct{} // closed when the pump exits (after out closes)
+
+	abort     chan struct{} // closed to force the pump out of a wedged drain
+	abortOnce sync.Once
 
 	mu       sync.Mutex
 	logs     map[int][][]abc.Entry // per-party committed slots, in order
@@ -103,6 +113,7 @@ func (c *Cluster) NewLedger(tag string, opts ...LedgerOption) (*Ledger, error) {
 		out:      make(chan SlotCommit),
 		kick:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
+		abort:    make(chan struct{}),
 		logs:     make(map[int][][]abc.Entry),
 		launched: make(map[int]int),
 	}
@@ -191,7 +202,10 @@ func (l *Ledger) Err() error {
 // the agreed final slot. Returns any leftover transactions that could not
 // be carried (queued after the final slot sealed — normally none). Stop is
 // idempotent; all callers block until the drain completes or their ctx
-// ends.
+// ends. A ctx that ends first aborts the pump — the usual cause is a
+// consumer that stopped draining Committed(), wedging the drain — so the
+// stream closes, Err reports ErrLedgerAbandoned, and Stop returns
+// ctx.Err() rather than leaking the pump forever.
 func (l *Ledger) Stop(ctx context.Context) ([][]byte, error) {
 	l.mu.Lock()
 	already := l.stopped
@@ -212,6 +226,7 @@ func (l *Ledger) Stop(ctx context.Context) ([][]byte, error) {
 	select {
 	case <-l.done:
 	case <-ctx.Done():
+		l.abortOnce.Do(func() { close(l.abort) })
 		return nil, ctx.Err()
 	}
 	if err := l.Err(); err != nil {
@@ -239,16 +254,36 @@ func (l *Ledger) kickPump() {
 // pump is the single goroutine driving the runtime (on the simulator) and
 // relaying verified commits to the stream. It only engages the runtime
 // while progress is possible — otherwise it parks on the kick latch, so an
-// idle ledger leaves the network quiescent.
+// idle ledger leaves the network quiescent. Closing l.abort forces the
+// pump out of any blocking state (kick park, runtime await, stream send)
+// with ErrLedgerAbandoned as the terminal error.
 func (l *Ledger) pump() {
 	defer close(l.done)
 	defer close(l.out)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-l.abort:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
 	for {
 		if !l.outstanding() {
-			<-l.kick
+			select {
+			case <-l.kick:
+			case <-l.abort:
+				l.fail(ErrLedgerAbandoned)
+				return
+			}
 		}
-		err := l.c.hc.Await(context.Background(), l.progress)
+		err := l.c.hc.Await(ctx, l.progress)
 		if err != nil {
+			if l.aborted() {
+				l.fail(ErrLedgerAbandoned)
+				return
+			}
 			var stall *sim.StallError
 			if errors.As(err, &stall) && stall.Drained && !l.wedged() {
 				continue // idle quiesce between submissions; await the next kick
@@ -324,8 +359,9 @@ func (l *Ledger) allFinished() bool {
 
 // emitReady relays every fully committed slot to the stream, first
 // verifying the honest logs agree on it entry-by-entry. Returns false
-// after recording a divergence error (a protocol-safety bug, not an
-// operational condition).
+// after recording a terminal error: honest-log divergence (a
+// protocol-safety bug, not an operational condition) or an abort while
+// wedged against an abandoned stream.
 func (l *Ledger) emitReady() bool {
 	for {
 		l.mu.Lock()
@@ -351,8 +387,22 @@ func (l *Ledger) emitReady() bool {
 			}
 		}
 		if len(commit.Entries) > 0 {
-			l.out <- commit // consumer backpressure; no locks held
+			select {
+			case l.out <- commit: // consumer backpressure; no locks held
+			case <-l.abort:
+				l.fail(ErrLedgerAbandoned)
+				return false
+			}
 		}
+	}
+}
+
+func (l *Ledger) aborted() bool {
+	select {
+	case <-l.abort:
+		return true
+	default:
+		return false
 	}
 }
 

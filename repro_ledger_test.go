@@ -200,6 +200,44 @@ func TestLedgerIdenticalLogsUnderAdversarialSchedulers(t *testing.T) {
 	}
 }
 
+// TestLedgerAbandonedConsumerDegradesToError: nobody drains Committed(),
+// so the pump wedges on its first emit; a Stop whose ctx expires against
+// that wedge must return ctx.Err() AND abort the pump — the stream closes
+// and Err reports ErrLedgerAbandoned — instead of leaking the pump (and
+// the simulator driver it holds) forever.
+func TestLedgerAbandonedConsumerDegradesToError(t *testing.T) {
+	c, err := NewCluster(4, WithSeed(106), WithGenesisNonce([]byte("ledger")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	l, err := c.NewLedger("log", WithBatchBytes(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 4; q++ {
+		if err := l.Submit(context.Background(), []byte(fmt.Sprintf("abandon-tx-%d", q))); err != nil {
+			t.Fatalf("submit %d: %v", q, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := l.Stop(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stop against an undrained stream: got %v, want ctx deadline", err)
+	}
+	select {
+	case <-l.done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pump still running 30s after abort — leaked")
+	}
+	if err := l.Err(); !errors.Is(err, ErrLedgerAbandoned) {
+		t.Fatalf("ledger error after abort: got %v, want ErrLedgerAbandoned", err)
+	}
+	if _, ok := <-l.Committed(); ok {
+		t.Fatal("commit stream still open after abort")
+	}
+}
+
 // TestLedgerBackpressureBlocksNotDrops: with tiny mempools, an unread
 // commit stream, and pipelining depth 1, admission is bounded — Submit
 // must eventually BLOCK (ctx deadline), never drop. Once the consumer
