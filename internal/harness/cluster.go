@@ -106,23 +106,32 @@ func NewCluster(n, f int, seed int64, opts Options) (*Cluster, error) {
 
 // LiveOptions tune live cluster construction.
 type LiveOptions struct {
-	Transport livenet.Transport // Channels (default) or TCP
-	Jitter    time.Duration     // Channels-transport delivery jitter
-	Timeout   time.Duration     // per-Await cap; <= 0 = livenet.DefaultAwaitTimeout
-	Crashed   map[int]bool      // crash-faulty parties
+	Transport livenet.Transport   // Channels (default) or TCP
+	Jitter    time.Duration       // Channels-transport delivery jitter
+	Timeout   time.Duration       // per-Await cap; <= 0 = livenet.DefaultAwaitTimeout
+	Crashed   map[int]bool        // crash-faulty parties
+	WAN       *livenet.WANProfile // per-link WAN emulation (TCP transport only)
 }
 
 // NewLiveCluster builds an n-party cluster on the concurrent live runtime.
-// Key derivation matches NewCluster for the same (n, seed).
+// Key derivation matches NewCluster for the same (n, seed); the TCP
+// transport's handshake signs with the same bulletin-PKI keys the protocols
+// use, so wire identity and protocol identity coincide.
 func NewLiveCluster(n, f int, seed int64, opts LiveOptions) (*Cluster, error) {
 	keys, board, f, err := setupKeys(n, f, seed)
 	if err != nil {
 		return nil, err
 	}
+	auth := &livenet.Auth{Board: board.SigKeys()}
+	for _, k := range keys {
+		auth.Keys = append(auth.Keys, k.Sig)
+	}
 	nw, err := livenet.New(livenet.Config{
 		N: n, F: f, Seed: seed,
 		Transport: opts.Transport,
 		Jitter:    opts.Jitter,
+		Auth:      auth,
+		WAN:       opts.WAN,
 	})
 	if err != nil {
 		return nil, err
@@ -195,6 +204,26 @@ func (c *Cluster) TotalTally() Tally {
 	}
 	t := c.Live.TotalTally()
 	return Tally{Msgs: t.Msgs, Bytes: t.Bytes}
+}
+
+// TCPStats reports the live TCP transport's framing, reconnect, and
+// WAN-emulation counters (zero on the simulator and Channels transports).
+func (c *Cluster) TCPStats() livenet.TCPStats {
+	if c.Live == nil {
+		return livenet.TCPStats{}
+	}
+	return c.Live.TCPStats()
+}
+
+// Sever force-closes the live (from → to) TCP connection; the transport
+// redials with backoff and resends unacked frames. No-op off TCP. It
+// reports whether a live connection was actually killed, so callers that
+// need a guaranteed mid-flight kill can retry until the link was up.
+func (c *Cluster) Sever(from, to int) bool {
+	if c.Live != nil {
+		return c.Live.Sever(from, to)
+	}
+	return false
 }
 
 // Steps reports simulator deliveries so far (0 on the live runtime).

@@ -23,18 +23,36 @@ const DefaultAwaitTimeout = 2 * time.Minute
 // network drives itself. Instances therefore run truly in parallel, while
 // the same launcher code interleaves them on the simulator.
 type Driver struct {
+	// Net is the in-process cluster; nil when driving a single Party.
 	Net *Network
 	// Timeout caps one Await; <= 0 selects DefaultAwaitTimeout.
 	Timeout time.Duration
+
+	host driverHost
 
 	mu     sync.Mutex
 	cond   *sync.Cond
 	closed bool
 }
 
+// driverHost is the slice of a runtime the Driver needs: a Network hosts
+// all n parties in one process, a Party hosts exactly one (noded).
+type driverHost interface {
+	Runtime(i int) proto.Runtime
+	Launch(i int, fn func())
+}
+
 // NewDriver wraps nw as a session driver.
 func NewDriver(nw *Network, timeout time.Duration) *Driver {
-	d := &Driver{Net: nw, Timeout: timeout}
+	d := &Driver{Net: nw, host: nw, Timeout: timeout}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// NewPartyDriver wraps a single-party runtime as a session driver; Runtime
+// and Launch accept only the party's own index.
+func NewPartyDriver(p *Party, timeout time.Duration) *Driver {
+	d := &Driver{host: p, Timeout: timeout}
 	d.cond = sync.NewCond(&d.mu)
 	return d
 }
@@ -42,12 +60,12 @@ func NewDriver(nw *Network, timeout time.Duration) *Driver {
 var _ proto.Driver = (*Driver)(nil)
 
 // Runtime returns node i's protocol-facing surface.
-func (d *Driver) Runtime(i int) proto.Runtime { return d.Net.Node(i) }
+func (d *Driver) Runtime(i int) proto.Runtime { return d.host.Runtime(i) }
 
 // Launch schedules fn onto node i's dispatcher goroutine — the only legal
 // way to touch protocol state on the live runtime. Per-node ordering of
 // launched fns is the dispatch-queue order.
-func (d *Driver) Launch(i int, fn func()) { d.Net.Node(i).Do(fn) }
+func (d *Driver) Launch(i int, fn func()) { d.host.Launch(i, fn) }
 
 // Update runs fn under the driver lock and wakes every Await. Protocol
 // callbacks fire on dispatcher goroutines; routing their collector writes

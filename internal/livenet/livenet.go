@@ -1,35 +1,35 @@
 // Package livenet is a concurrent runtime for the protocol stack: every
 // party runs its own dispatcher goroutine and messages travel over either
-// in-process queues with random delivery jitter or real TCP loopback
-// connections. It implements the same proto.Runtime surface as the
-// deterministic simulator, so every protocol in internal/core runs on it
-// unchanged — this is the deployment-shaped execution path, while
-// internal/sim remains the measurement and adversarial-testing path.
+// in-process queues with random delivery jitter or real TCP connections. It
+// implements the same proto.Runtime surface as the deterministic simulator,
+// so every protocol in internal/core runs on it unchanged — this is the
+// deployment-shaped execution path, while internal/sim remains the
+// measurement and adversarial-testing path.
 //
 // Concurrency contract: all protocol callbacks and handlers of one node run
 // on that node's dispatcher goroutine, preserving the single-threaded
 // protocol contract. External code interacts with a node only through
 // Do(fn), which schedules fn onto the dispatcher.
 //
-// The TCP transport identifies peers by an unauthenticated handshake id —
-// it demonstrates wire-level operation on one machine; a production
-// deployment would bind transport identity to the PKI.
+// The TCP fabric is built from per-party Mesh endpoints (mesh.go): every
+// connection is authenticated by a signed-challenge handshake bound to the
+// party's bulletin-PKI key, frames are sequence-numbered and retained until
+// acked so links survive connection drops (reconnect + exponential backoff
+// + resend), and per-link WAN emulation can replay wide-area latency
+// profiles. The same Mesh serves the out-of-process noded daemon, so the
+// in-process runtime and the real deployment share one wire layer.
 package livenet
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
-	"log"
 	"math/rand"
-	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/crypto/sig"
 	"repro/internal/proto"
 )
 
@@ -40,9 +40,19 @@ type Transport int
 const (
 	// Channels delivers through in-process queues with random jitter.
 	Channels Transport = iota
-	// TCP delivers over loopback TCP connections (full mesh).
+	// TCP delivers over authenticated loopback TCP meshes (full mesh).
 	TCP
 )
+
+// Auth binds transport identity to the bulletin PKI: Keys[i] signs party
+// i's connection handshakes and Board[i] verifies them. With Auth nil on
+// the TCP transport, a deterministic keyset is derived from the Seed so the
+// handshake is still always signed (tests); real clusters pass the PKI keys
+// so wire identity and protocol identity are the same key.
+type Auth struct {
+	Keys  []sig.PrivateKey
+	Board []sig.PublicKey
+}
 
 // Config describes a live network.
 type Config struct {
@@ -59,6 +69,12 @@ type Config struct {
 	// (sustained small-frame load). 0 selects defaultFlushEvery; ignored
 	// by the Channels transport.
 	FlushEvery time.Duration
+	// Auth supplies the handshake signing keys for the TCP transport
+	// (nil = deterministic keys derived from Seed).
+	Auth *Auth
+	// WAN optionally emulates per-link wide-area delay/jitter/loss on the
+	// TCP transport (nil = no emulation). Ignored by Channels.
+	WAN *WANProfile
 }
 
 // defaultFlushEvery is the TCP max-frame-latency flush period when
@@ -142,6 +158,18 @@ type transport interface {
 	close()
 }
 
+// nodeEnv is what a Node needs from its surroundings: cluster shape,
+// traffic accounting, and a transport. A full in-process Network provides
+// it for n nodes; a single-party Party (party.go) provides it for one, so
+// the same dispatcher runtime serves both deployment shapes.
+type nodeEnv interface {
+	partyCount() int
+	faultBound() int
+	record(inst string, bodyLen int)
+	transportSend(from, to int, inst string, body []byte)
+	transportFlush(from int)
+}
+
 type task struct {
 	// Either a message…
 	from int
@@ -153,7 +181,7 @@ type task struct {
 
 // Node is one party's live runtime.
 type Node struct {
-	nw  *Network
+	env nodeEnv
 	idx int
 
 	mu      sync.Mutex
@@ -184,7 +212,7 @@ func New(cfg Config) (*Network, error) {
 	}
 	for i := 0; i < cfg.N; i++ {
 		nd := &Node{
-			nw:      nw,
+			env:     nw,
 			idx:     i,
 			insts:   make(map[string]proto.Handler),
 			pending: make(map[string][]task),
@@ -197,7 +225,7 @@ func New(cfg Config) (*Network, error) {
 	case Channels:
 		nw.tr = &chanTransport{nw: nw, jitter: cfg.Jitter}
 	case TCP:
-		tr, err := newTCPTransport(nw, cfg.FlushEvery)
+		tr, err := newMeshTransport(nw, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("livenet: tcp transport: %w", err)
 		}
@@ -215,6 +243,12 @@ func New(cfg Config) (*Network, error) {
 // Node returns party i's runtime.
 func (nw *Network) Node(i int) *Node { return nw.nodes[i] }
 
+// Runtime returns party i's protocol-facing surface (driverHost).
+func (nw *Network) Runtime(i int) proto.Runtime { return nw.nodes[i] }
+
+// Launch schedules fn onto party i's dispatcher (driverHost).
+func (nw *Network) Launch(i int, fn func()) { nw.nodes[i].Do(fn) }
+
 // Close stops dispatchers and the transport. It is idempotent.
 func (nw *Network) Close() {
 	nw.closeOnce.Do(func() {
@@ -231,43 +265,79 @@ func (nw *Network) Close() {
 	})
 }
 
-// TCPStats aggregates the TCP transport's write-coalescing counters across
-// all peer connections. Zero on the Channels transport.
+// TCPStats aggregates the TCP transport's mesh counters across all
+// endpoints. Zero on the Channels transport.
 type TCPStats struct {
 	Frames   int64 // protocol frames handed to the transport
-	Syscalls int64 // socket Write calls that carried them (flushes + overflow write-throughs)
-	Dropped  int64 // frames lost to write/flush errors
+	Syscalls int64 // data-path socket writes that carried them (coalesced flushes)
+	Dropped  int64 // frames lost to outbox overflow (peer gone too long)
+
+	Resends       int64 // frames rewritten while resyncing a reconnected link
+	Redials       int64 // connections re-established after a drop
+	BackoffResets int64 // exponential redial backoff returns to minimum
+	AuthRejects   int64 // inbound handshakes rejected (impostor/replay)
+	Dups          int64 // duplicate frames dropped by receiver seq dedup
+
+	WANDelays int64 // frames held by per-link WAN emulation
+	WANLosses int64 // emulated loss→retransmission latency events
 }
 
 // TCPStats reports the transport's framing counters; Frames/Syscalls is
 // the achieved write-coalescing factor.
 func (nw *Network) TCPStats() TCPStats {
-	tr, ok := nw.tr.(*tcpTransport)
+	mt, ok := nw.tr.(*meshTransport)
 	if !ok {
 		return TCPStats{}
 	}
-	var out TCPStats
-	for _, p := range tr.peers {
-		out.Frames += p.frames.Load()
-		out.Syscalls += p.conn.writes.Load()
-		out.Dropped += p.drops.Load()
+	var agg MeshStats
+	for _, m := range mt.meshes {
+		agg.add(m.Stats())
 	}
-	return out
+	return TCPStats{
+		Frames:        agg.Frames,
+		Syscalls:      agg.Syscalls,
+		Dropped:       agg.Dropped,
+		Resends:       agg.Resends,
+		Redials:       agg.Redials,
+		BackoffResets: agg.BackoffResets,
+		AuthRejects:   agg.AuthRejects,
+		Dups:          agg.Dups,
+		WANDelays:     agg.WANDelays,
+		WANLosses:     agg.WANLosses,
+	}
 }
 
-// PeerDrops reports the frames lost on the (from, to) TCP connection — the
-// per-peer drop counter behind TCPStats.Dropped. Zero on the Channels
-// transport and for self-sends.
+// PeerDrops reports the frames charged against the (from, to) link: frames
+// dropped to outbox overflow on the sender side, plus inbound handshakes at
+// `to` rejected while claiming identity `from` (an impostor posing as
+// `from` books its rejections here). Zero on the Channels transport and for
+// self-sends.
 func (nw *Network) PeerDrops(from, to int) int64 {
-	tr, ok := nw.tr.(*tcpTransport)
-	if !ok {
+	mt, ok := nw.tr.(*meshTransport)
+	if !ok || from < 0 || from >= nw.n || to < 0 || to >= nw.n {
 		return 0
 	}
-	p := tr.peers[[2]int{from, to}]
-	if p == nil {
-		return 0
+	return mt.meshes[from].LinkDrops(to) + mt.meshes[to].AuthRejects(from)
+}
+
+// Sever force-closes the current (from → to) TCP connection; the mesh
+// redials with backoff and resends unacked frames, so delivery resumes.
+// No-op on the Channels transport — the crash/recovery test hook. It
+// reports whether a live connection was actually killed (false while the
+// link is still dialing, and always false on Channels).
+func (nw *Network) Sever(from, to int) bool {
+	if mt, ok := nw.tr.(*meshTransport); ok && from >= 0 && from < nw.n {
+		return mt.meshes[from].Sever(to)
 	}
-	return p.drops.Load()
+	return false
+}
+
+// MeshAddr returns party i's TCP data listen address ("" on Channels).
+func (nw *Network) MeshAddr(i int) string {
+	if mt, ok := nw.tr.(*meshTransport); ok && i >= 0 && i < nw.n {
+		return mt.meshes[i].Addr()
+	}
+	return ""
 }
 
 // Rejected reports the total malformed messages dropped across nodes.
@@ -278,6 +348,15 @@ func (nw *Network) Rejected() int64 {
 	}
 	return t
 }
+
+// Network's nodeEnv implementation (Node runs against either a full
+// Network or a single-party Party).
+func (nw *Network) partyCount() int { return nw.n }
+func (nw *Network) faultBound() int { return nw.f }
+func (nw *Network) transportSend(from, to int, inst string, body []byte) {
+	nw.tr.send(from, to, inst, body)
+}
+func (nw *Network) transportFlush(from int) { nw.tr.flush(from) }
 
 func (nw *Network) jitterDelay(max time.Duration) time.Duration {
 	if max <= 0 {
@@ -291,10 +370,10 @@ func (nw *Network) jitterDelay(max time.Duration) time.Duration {
 // --- Node: proto.Runtime ---
 
 // N returns the party count.
-func (nd *Node) N() int { return nd.nw.n }
+func (nd *Node) N() int { return nd.env.partyCount() }
 
 // F returns the corruption bound.
-func (nd *Node) F() int { return nd.nw.f }
+func (nd *Node) F() int { return nd.env.faultBound() }
 
 // Self returns this node's index.
 func (nd *Node) Self() int { return nd.idx }
@@ -325,16 +404,16 @@ func (nd *Node) Register(inst string, h proto.Handler) {
 
 // Send routes a message to the same instance on node `to`.
 func (nd *Node) Send(inst string, to int, body []byte) {
-	if to < 0 || to >= nd.nw.n {
+	if to < 0 || to >= nd.env.partyCount() {
 		return
 	}
-	nd.nw.record(inst, len(body))
-	nd.nw.tr.send(nd.idx, to, inst, body)
+	nd.env.record(inst, len(body))
+	nd.env.transportSend(nd.idx, to, inst, body)
 }
 
 // Multicast sends to all parties, self included.
 func (nd *Node) Multicast(inst string, body []byte) {
-	for to := 0; to < nd.nw.n; to++ {
+	for to := 0; to < nd.env.partyCount(); to++ {
 		nd.Send(inst, to, body)
 	}
 }
@@ -374,7 +453,7 @@ func (nd *Node) dispatch() {
 			// a syscall; the re-check below catches anything that raced
 			// in meanwhile.
 			nd.mu.Unlock()
-			nd.nw.tr.flush(nd.idx)
+			nd.env.transportFlush(nd.idx)
 			nd.mu.Lock()
 		}
 		for len(nd.queue) == 0 && !nd.closed {
@@ -425,273 +504,96 @@ func (c *chanTransport) flush(int) {}
 
 func (c *chanTransport) close() {}
 
-// --- TCP transport ---
+// --- TCP transport: n in-process Mesh endpoints on loopback ---
 
-// tcpWriteBuffer sizes each peer connection's coalescing buffer: large
-// enough to absorb a whole multicast burst of protocol frames between
-// dispatcher-idle flushes, small enough that n² connections stay cheap.
-const tcpWriteBuffer = 64 * 1024
+// inProcBackoffMin/Max tune the redial backoff for loopback, where a peer
+// that refuses a dial is back within milliseconds, not seconds.
+const (
+	inProcBackoffMin = 5 * time.Millisecond
+	inProcBackoffMax = 500 * time.Millisecond
+)
 
-// countingConn counts the Write calls that actually reach the socket —
-// the syscall side of the frames-per-syscall coalescing metric.
-type countingConn struct {
-	net.Conn
-	writes atomic.Int64
-}
-
-func (c *countingConn) Write(p []byte) (int, error) {
-	c.writes.Add(1)
-	return c.Conn.Write(p)
-}
-
-// tcpPeer is one ordered (from, to) connection with a coalescing writer.
-// All writer state is guarded by mu; the counters are atomics so the stats
-// accessors never contend with in-flight writes.
-type tcpPeer struct {
-	from, to int
-
-	mu   sync.Mutex
-	conn *countingConn
-	bw   *bufio.Writer
-	// pending counts the frames still sitting in bw — the frames a failed
-	// flush would actually lose. A bufio write-through (buffer overflow
-	// mid-burst) delivers older frames to the wire, so send() re-derives
-	// pending from the buffer state instead of counting monotonically;
-	// otherwise a later failed flush would charge frames that were already
-	// delivered as dropped.
-	pending int64
-	logged  bool // first write failure logged (subsequent ones only count)
-
-	frames atomic.Int64 // frames accepted for this peer
-	drops  atomic.Int64 // frames known lost to write/flush errors
-}
-
-// fail books a failed write of `frames` frames; callers hold p.mu. The
-// first failure per peer is logged, the rest only count — a dead peer at
-// n=16 would otherwise log once per frame.
-func (p *tcpPeer) fail(frames int64, err error) {
-	p.drops.Add(frames)
-	if !p.logged {
-		p.logged = true
-		log.Printf("livenet: tcp write %d→%d failed, dropping frames: %v", p.from, p.to, err)
-	}
-}
-
-type tcpTransport struct {
-	nw        *Network
-	listeners []net.Listener
-	// peers and bySender are written only during construction and
-	// read-only afterwards, so send/flush need no transport-level lock.
-	peers    map[[2]int]*tcpPeer
-	bySender [][]*tcpPeer // outbound connections indexed by sending node
-	closed   atomic.Bool
-	stop     chan struct{} // closed once; stops the timer flusher
-	readers  sync.WaitGroup
-}
-
-func newTCPTransport(nw *Network, flushEvery time.Duration) (*tcpTransport, error) {
-	tr := &tcpTransport{
-		nw:       nw,
-		peers:    make(map[[2]int]*tcpPeer),
-		bySender: make([][]*tcpPeer, nw.n),
-		stop:     make(chan struct{}),
-	}
-	addrs := make([]string, nw.n)
-	for i := 0; i < nw.n; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+// DeriveAuth builds a deterministic transport-auth keyset from a seed — the
+// stand-in used when no bulletin-PKI keys are supplied, so the handshake is
+// never unauthenticated.
+func DeriveAuth(n int, seed int64) (*Auth, error) {
+	rng := rand.New(rand.NewSource(seed ^ 0x6d657368)) // "mesh"
+	a := &Auth{Keys: make([]sig.PrivateKey, n), Board: make([]sig.PublicKey, n)}
+	for i := 0; i < n; i++ {
+		k, err := sig.GenerateKey(rng)
 		if err != nil {
-			tr.close()
 			return nil, err
 		}
-		tr.listeners = append(tr.listeners, ln)
-		addrs[i] = ln.Addr().String()
-		to := i
-		go tr.acceptLoop(ln, to)
+		a.Keys[i] = k
+		a.Board[i] = k.PK
 	}
-	// Full mesh: every ordered pair (from, to), from ≠ to, gets one
-	// outbound connection; self-sends short-circuit in send().
-	for from := 0; from < nw.n; from++ {
-		for to := 0; to < nw.n; to++ {
-			if from == to {
-				continue
-			}
-			conn, err := net.Dial("tcp", addrs[to])
-			if err != nil {
-				tr.close()
-				return nil, err
-			}
-			var hello [4]byte
-			binary.BigEndian.PutUint32(hello[:], uint32(from))
-			if _, err := conn.Write(hello[:]); err != nil {
-				conn.Close()
-				tr.close()
-				return nil, err
-			}
-			cc := &countingConn{Conn: conn}
-			p := &tcpPeer{
-				from: from, to: to,
-				conn: cc,
-				bw:   bufio.NewWriterSize(cc, tcpWriteBuffer),
-			}
-			tr.peers[[2]int{from, to}] = p
-			tr.bySender[from] = append(tr.bySender[from], p)
-		}
-	}
-	if flushEvery <= 0 {
-		flushEvery = defaultFlushEvery
-	}
-	go tr.flushLoop(flushEvery)
-	return tr, nil
+	return a, nil
 }
 
-// flushLoop is the max-frame-latency bound: dispatcher-idle flushes and the
-// bufio overflow write-through both fail to fire under sustained small-frame
-// load (the queue never drains and the buffer never fills), so a timer
-// sweeps every pending buffer to the wire each period.
-func (tr *tcpTransport) flushLoop(every time.Duration) {
-	tick := time.NewTicker(every)
-	defer tick.Stop()
-	for {
-		select {
-		case <-tr.stop:
-			return
-		case <-tick.C:
-			for _, p := range tr.peers {
-				flushPeer(p)
-			}
-		}
-	}
+type meshTransport struct {
+	nw     *Network
+	meshes []*Mesh
 }
 
-func (tr *tcpTransport) acceptLoop(ln net.Listener, to int) {
-	for {
-		conn, err := ln.Accept()
+func newMeshTransport(nw *Network, cfg Config) (*meshTransport, error) {
+	auth := cfg.Auth
+	if auth == nil {
+		var err error
+		if auth, err = DeriveAuth(nw.n, cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	if len(auth.Keys) != nw.n || len(auth.Board) != nw.n {
+		return nil, fmt.Errorf("auth keyset has %d/%d keys, want %d", len(auth.Keys), len(auth.Board), nw.n)
+	}
+	mt := &meshTransport{nw: nw}
+	addrs := make([]string, nw.n)
+	for i := 0; i < nw.n; i++ {
+		node := nw.nodes[i]
+		m, err := NewMesh(MeshConfig{
+			Self:       i,
+			N:          nw.n,
+			Key:        auth.Keys[i],
+			Board:      auth.Board,
+			Deliver:    node.enqueue,
+			WAN:        cfg.WAN,
+			Seed:       cfg.Seed,
+			FlushEvery: cfg.FlushEvery,
+			BackoffMin: inProcBackoffMin,
+			BackoffMax: inProcBackoffMax,
+		})
 		if err != nil {
-			return // listener closed
+			mt.close()
+			return nil, err
 		}
-		tr.readers.Add(1)
-		go tr.readLoop(conn, to)
+		mt.meshes = append(mt.meshes, m)
+		addrs[i] = m.Addr()
 	}
+	for _, m := range mt.meshes {
+		if err := m.Connect(addrs); err != nil {
+			mt.close()
+			return nil, err
+		}
+	}
+	return mt, nil
 }
 
-func (tr *tcpTransport) readLoop(conn net.Conn, to int) {
-	defer tr.readers.Done()
-	defer conn.Close()
-	var hello [4]byte
-	if _, err := io.ReadFull(conn, hello[:]); err != nil {
-		return
-	}
-	from := int(binary.BigEndian.Uint32(hello[:]))
-	if from < 0 || from >= tr.nw.n {
-		return
-	}
-	for {
-		var hdr [6]byte
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return
-		}
-		total := binary.BigEndian.Uint32(hdr[:4])
-		instLen := binary.BigEndian.Uint16(hdr[4:])
-		if total > 1<<24 || uint32(instLen) > total {
-			return
-		}
-		buf := make([]byte, total)
-		if _, err := io.ReadFull(conn, buf); err != nil {
-			return
-		}
-		if tr.closed.Load() {
-			return
-		}
-		tr.nw.nodes[to].enqueue(from, string(buf[:instLen]), buf[instLen:])
-	}
+func (mt *meshTransport) send(from, to int, inst string, body []byte) {
+	mt.meshes[from].Send(to, inst, body)
 }
 
-// send frames the message into the peer's coalescing buffer. The syscall
-// happens later: at the sender's dispatcher-idle flush, or inline when the
-// buffer overflows (bufio writes through). Write errors are no longer
-// swallowed — each failed frame is counted against the peer (PeerDrops,
-// TCPStats.Dropped) and the first failure per peer is logged.
-func (tr *tcpTransport) send(from, to int, inst string, body []byte) {
-	if tr.closed.Load() {
-		return
-	}
-	if from == to {
-		tr.nw.nodes[to].enqueue(from, inst, append([]byte(nil), body...))
-		return
-	}
-	p := tr.peers[[2]int{from, to}]
-	if p == nil {
-		return
-	}
-	frame := make([]byte, 6+len(inst)+len(body))
-	binary.BigEndian.PutUint32(frame[:4], uint32(len(inst)+len(body)))
-	binary.BigEndian.PutUint16(frame[4:6], uint16(len(inst)))
-	copy(frame[6:], inst)
-	copy(frame[6+len(inst):], body)
-	p.mu.Lock()
-	p.frames.Add(1)
-	prevBuffered := p.bw.Buffered()
-	if _, err := p.bw.Write(frame); err != nil {
-		// bufio sticks on its first error, so earlier buffered frames are
-		// already accounted by the failing flush; this charge covers only
-		// the frame that just failed.
-		p.fail(1, err)
-	} else {
-		switch buffered := p.bw.Buffered(); {
-		case buffered == 0:
-			// Write-through: everything, this frame included, hit the wire.
-			p.pending = 0
-		case buffered < prevBuffered+len(frame):
-			// Overflow flush delivered the older frames; only this frame
-			// (possibly a suffix of it) still sits in the buffer.
-			p.pending = 1
-		default:
-			p.pending++
-		}
-	}
-	p.mu.Unlock()
-}
+func (mt *meshTransport) flush(from int) { mt.meshes[from].Flush() }
 
-// flush drains node `from`'s outbound buffers to the wire.
-func (tr *tcpTransport) flush(from int) {
-	for _, p := range tr.bySender[from] {
-		flushPeer(p)
+func (mt *meshTransport) close() {
+	var wg sync.WaitGroup
+	for _, m := range mt.meshes {
+		wg.Add(1)
+		go func(m *Mesh) {
+			defer wg.Done()
+			m.Close()
+		}(m)
 	}
-}
-
-// flushPeer drains one peer's buffer; a no-op when nothing is pending, so
-// the timer sweep costs only a mutex round-trip per quiet peer.
-func flushPeer(p *tcpPeer) {
-	p.mu.Lock()
-	if p.pending > 0 {
-		n := p.pending
-		p.pending = 0
-		if err := p.bw.Flush(); err != nil {
-			p.fail(n, err)
-		}
-	}
-	p.mu.Unlock()
-}
-
-func (tr *tcpTransport) close() {
-	if !tr.closed.CompareAndSwap(false, true) {
-		return
-	}
-	close(tr.stop)
-	for _, ln := range tr.listeners {
-		_ = ln.Close()
-	}
-	for _, p := range tr.peers {
-		p.mu.Lock()
-		if p.pending > 0 {
-			// Best-effort final drain; failures are shutdown noise, not
-			// protocol drops.
-			_ = p.bw.Flush()
-			p.pending = 0
-		}
-		_ = p.conn.Close()
-		p.mu.Unlock()
-	}
+	wg.Wait()
 }
 
 // Crash makes the node drop all future deliveries and jobs — a

@@ -1,0 +1,797 @@
+package livenet
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	mrand "math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/crypto/sig"
+)
+
+// Mesh is one party's endpoint of a full-mesh authenticated TCP transport.
+// It is the unit shared by the two deployment shapes: the in-process TCP
+// runtime builds n Meshes on loopback, and a noded process builds exactly
+// one, with peer addresses pointing at other processes (or machines).
+//
+// Wire identity is bound to the bulletin PKI: every connection starts with a
+// challenge–response handshake in which the dialer signs a fresh random
+// challenge under its registered Schnorr key, so an impostor (or a replayed
+// hello) is rejected before any protocol frame is read.
+//
+// Links are reliable across reconnects: every data frame carries a per-link
+// sequence number and is retained in a bounded outbox until the receiver's
+// cumulative ack (sent on the reverse direction of the same connection)
+// covers it. On reconnect — after a peer restart, a severed connection, or a
+// network blip — the dialer resends the unacked suffix and the receiver
+// drops duplicates by sequence, giving exactly-once in-order delivery, which
+// is what lets in-flight protocol instances resume after a drop.
+//
+// An optional per-link WANProfile emulates wide-area conditions in
+// userspace: inbound frames are held for a seeded sampled one-way delay
+// (plus jitter and loss-as-retransmission latency) before delivery.
+type Mesh struct {
+	self, n int
+	key     sig.PrivateKey
+	board   []sig.PublicKey
+	deliver func(from int, inst string, body []byte)
+
+	ln    net.Listener
+	out   []*outLink // indexed by destination; nil at self
+	in    []*inLink  // indexed by source; nil at self
+	peers []string
+
+	flushEvery time.Duration
+	backoffMin time.Duration
+	backoffMax time.Duration
+	outboxCap  int
+
+	stopc     chan struct{}
+	closed    atomic.Bool
+	connected atomic.Bool
+	wg        sync.WaitGroup
+}
+
+// MeshConfig configures one party's mesh endpoint.
+type MeshConfig struct {
+	// Self is this party's index; N is the total party count.
+	Self, N int
+	// Listen is the data listen address ("" selects 127.0.0.1:0).
+	Listen string
+	// Key signs the transport handshake; Board (length N) verifies peers.
+	Key   sig.PrivateKey
+	Board []sig.PublicKey
+	// Deliver receives every inbound protocol frame (and self-sends). It is
+	// called from transport goroutines and must not block for long.
+	Deliver func(from int, inst string, body []byte)
+	// WAN optionally emulates per-link wide-area conditions on inbound
+	// frames; Seed makes the emulation replayable.
+	WAN  *WANProfile
+	Seed int64
+	// FlushEvery bounds coalescing-buffer latency and ack latency
+	// (0 selects defaultFlushEvery).
+	FlushEvery time.Duration
+	// BackoffMin/BackoffMax bound the exponential redial backoff
+	// (0 selects defaults).
+	BackoffMin, BackoffMax time.Duration
+	// OutboxFrames caps the per-link unacked-frame retention; beyond it new
+	// sends are dropped and counted (0 selects defaultOutboxFrames).
+	OutboxFrames int
+}
+
+const (
+	defaultBackoffMin   = 25 * time.Millisecond
+	defaultBackoffMax   = 1 * time.Second
+	defaultOutboxFrames = 1 << 16
+
+	// handshake framing
+	meshMagic        = "msh1"
+	challengeLen     = 32
+	handshakeOK      = 0x4b
+	handshakeTimeout = 5 * time.Second
+
+	// frame types after the handshake
+	frameData = 0x01
+	frameAck  = 0x02
+)
+
+// tcpWriteBuffer sizes each link's coalescing buffer: large enough to
+// absorb a whole multicast burst of protocol frames between dispatcher-idle
+// flushes, small enough that n² connections stay cheap.
+const tcpWriteBuffer = 64 * 1024
+
+// countingConn counts the Write calls that actually reach the socket —
+// the syscall side of the frames-per-syscall coalescing metric.
+type countingConn struct {
+	net.Conn
+	writes atomic.Int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	c.writes.Add(1)
+	return c.Conn.Write(p)
+}
+
+// authDomain separates transport-handshake signatures from every protocol
+// signature so a handshake transcript can never double as a protocol vote.
+const authDomain = "repro/mesh-auth/v1"
+
+func authMsg(from, to int, challenge []byte) []byte {
+	b := make([]byte, 0, len(authDomain)+8+len(challenge))
+	b = append(b, authDomain...)
+	var be [4]byte
+	binary.BigEndian.PutUint32(be[:], uint32(from))
+	b = append(b, be[:]...)
+	binary.BigEndian.PutUint32(be[:], uint32(to))
+	b = append(b, be[:]...)
+	return append(b, challenge...)
+}
+
+// outLink is the sending half of one directed link (self → to): the current
+// connection with its coalescing writer, and the seq-numbered outbox of
+// frames not yet covered by a cumulative ack.
+type outLink struct {
+	to int
+
+	mu       sync.Mutex
+	conn     *countingConn // nil while disconnected
+	bw       *bufio.Writer
+	nextSeq  uint64
+	outbox   []outFrame // unacked frames, ascending seq
+	attached int        // successful attaches (first connect + redials)
+
+	frames        atomic.Int64 // data frames accepted (excludes resends)
+	drops         atomic.Int64 // frames dropped to outbox overflow
+	resends       atomic.Int64 // frames rewritten during reconnect resync
+	redials       atomic.Int64 // re-established connections after the first
+	backoffResets atomic.Int64 // backoff returned to min after growing
+	syscalls      atomic.Int64 // socket writes of retired connections
+	logged        bool
+}
+
+type outFrame struct {
+	seq uint64
+	buf []byte // fully framed: type, seq, lengths, inst, body
+}
+
+// inLink is the receiving half of one directed link (from → self): the
+// highest contiguous sequence delivered (duplicates below it are dropped),
+// the pending cumulative ack, and the optional WAN delay line.
+type inLink struct {
+	from int
+
+	mu        sync.Mutex
+	conn      net.Conn // current inbound connection (ack channel)
+	lastSeq   uint64
+	lastAcked uint64
+
+	dups        atomic.Int64 // duplicate frames dropped after reconnect
+	authRejects atomic.Int64 // handshakes rejected claiming this identity
+	wan         *wanLink     // nil when the link profile is zero
+}
+
+// NewMesh binds the data listener and starts accepting authenticated peer
+// connections. Outbound dialing starts at Connect, once every party's
+// address is known.
+func NewMesh(cfg MeshConfig) (*Mesh, error) {
+	if cfg.N <= 0 || cfg.Self < 0 || cfg.Self >= cfg.N {
+		return nil, fmt.Errorf("livenet: mesh: bad self=%d n=%d", cfg.Self, cfg.N)
+	}
+	if len(cfg.Board) != cfg.N {
+		return nil, fmt.Errorf("livenet: mesh: board has %d keys, want %d", len(cfg.Board), cfg.N)
+	}
+	if cfg.Deliver == nil {
+		return nil, errors.New("livenet: mesh: Deliver is required")
+	}
+	listen := cfg.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: mesh listen: %w", err)
+	}
+	m := &Mesh{
+		self:       cfg.Self,
+		n:          cfg.N,
+		key:        cfg.Key,
+		board:      cfg.Board,
+		deliver:    cfg.Deliver,
+		ln:         ln,
+		out:        make([]*outLink, cfg.N),
+		in:         make([]*inLink, cfg.N),
+		flushEvery: cfg.FlushEvery,
+		backoffMin: cfg.BackoffMin,
+		backoffMax: cfg.BackoffMax,
+		outboxCap:  cfg.OutboxFrames,
+		stopc:      make(chan struct{}),
+	}
+	if m.flushEvery <= 0 {
+		m.flushEvery = defaultFlushEvery
+	}
+	if m.backoffMin <= 0 {
+		m.backoffMin = defaultBackoffMin
+	}
+	if m.backoffMax < m.backoffMin {
+		m.backoffMax = defaultBackoffMax
+	}
+	if m.outboxCap <= 0 {
+		m.outboxCap = defaultOutboxFrames
+	}
+	for i := 0; i < cfg.N; i++ {
+		if i == cfg.Self {
+			continue
+		}
+		m.out[i] = &outLink{to: i}
+		il := &inLink{from: i}
+		if lp := cfg.WAN.Link(i, cfg.Self); !lp.zero() {
+			from := i
+			il.wan = &wanLink{
+				profile: lp,
+				rng:     mrand.New(mrand.NewSource(linkSeed(cfg.Seed, i, cfg.Self))),
+				deliver: func(inst string, body []byte) { m.deliver(from, inst, body) },
+			}
+		}
+		m.in[i] = il
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the bound data listen address (for launcher config files).
+func (m *Mesh) Addr() string { return m.ln.Addr().String() }
+
+// Connect records every party's data address and starts the dial loops and
+// the flush/ack timer. peers[self] is ignored.
+func (m *Mesh) Connect(peers []string) error {
+	if len(peers) != m.n {
+		return fmt.Errorf("livenet: mesh connect: %d peer addrs, want %d", len(peers), m.n)
+	}
+	if !m.connected.CompareAndSwap(false, true) {
+		return errors.New("livenet: mesh connect: already connected")
+	}
+	m.peers = peers
+	for i, l := range m.out {
+		if l == nil {
+			continue
+		}
+		m.wg.Add(1)
+		go m.dialLoop(l, peers[i])
+	}
+	m.wg.Add(1)
+	go m.timerLoop()
+	return nil
+}
+
+// --- sending ---
+
+// Send frames a protocol message onto the (self → to) link. The frame is
+// retained until acked, so a connection drop delays it rather than losing
+// it; only outbox overflow (a peer gone far longer than the retention
+// window) drops and counts it.
+func (m *Mesh) Send(to int, inst string, body []byte) {
+	if m.closed.Load() || to < 0 || to >= m.n {
+		return
+	}
+	if to == m.self {
+		m.deliver(m.self, inst, append([]byte(nil), body...))
+		return
+	}
+	l := m.out[to]
+	l.mu.Lock()
+	if len(l.outbox) >= m.outboxCap {
+		l.mu.Unlock()
+		l.drops.Add(1)
+		return
+	}
+	l.nextSeq++
+	buf := encodeDataFrame(l.nextSeq, inst, body)
+	l.outbox = append(l.outbox, outFrame{seq: l.nextSeq, buf: buf})
+	l.frames.Add(1)
+	if l.bw != nil {
+		if _, err := l.bw.Write(buf); err != nil {
+			m.killLocked(l, err)
+		}
+	}
+	l.mu.Unlock()
+}
+
+func encodeDataFrame(seq uint64, inst string, body []byte) []byte {
+	buf := make([]byte, 15+len(inst)+len(body))
+	buf[0] = frameData
+	binary.BigEndian.PutUint64(buf[1:9], seq)
+	binary.BigEndian.PutUint32(buf[9:13], uint32(len(inst)+len(body)))
+	binary.BigEndian.PutUint16(buf[13:15], uint16(len(inst)))
+	copy(buf[15:], inst)
+	copy(buf[15+len(inst):], body)
+	return buf
+}
+
+// Flush pushes every coalescing buffer to the wire (dispatcher-idle hook).
+func (m *Mesh) Flush() {
+	for _, l := range m.out {
+		if l != nil {
+			m.flushLink(l)
+		}
+	}
+}
+
+func (m *Mesh) flushLink(l *outLink) {
+	l.mu.Lock()
+	if l.bw != nil && l.bw.Buffered() > 0 {
+		if err := l.bw.Flush(); err != nil {
+			m.killLocked(l, err)
+		}
+	}
+	l.mu.Unlock()
+}
+
+// killLocked retires a failing connection; the retained outbox means the
+// dial loop's resync recovers every unacked frame. Callers hold l.mu.
+func (m *Mesh) killLocked(l *outLink, err error) {
+	if l.conn != nil {
+		l.syscalls.Add(l.conn.writes.Load())
+		_ = l.conn.Close()
+		l.conn = nil
+		l.bw = nil
+	}
+	if !l.logged && !m.closed.Load() {
+		l.logged = true
+		log.Printf("livenet: mesh %d→%d connection failed (will redial): %v", m.self, l.to, err)
+	}
+}
+
+// Sever force-closes the current (self → to) connection — the test hook for
+// reconnect/backoff coverage and the launcher's forced-kill scenario. It
+// reports whether a live connection was actually killed: during startup the
+// link may not have attached yet, in which case severing is a no-op and the
+// caller should retry to guarantee a mid-flight kill.
+func (m *Mesh) Sever(to int) bool {
+	if to < 0 || to >= m.n || to == m.self {
+		return false
+	}
+	l := m.out[to]
+	l.mu.Lock()
+	live := l.conn != nil
+	if live {
+		m.killLocked(l, errors.New("severed"))
+	}
+	l.mu.Unlock()
+	return live
+}
+
+// --- dialing, handshake, acks ---
+
+func (m *Mesh) dialLoop(l *outLink, addr string) {
+	defer m.wg.Done()
+	backoff := m.backoffMin
+	grew := false
+	for {
+		if m.closed.Load() {
+			return
+		}
+		conn, err := m.dialAndHandshake(addr, l.to)
+		if err != nil {
+			if m.closed.Load() {
+				return
+			}
+			select {
+			case <-m.stopc:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > m.backoffMax {
+				backoff = m.backoffMax
+			}
+			grew = true
+			continue
+		}
+		if grew {
+			l.backoffResets.Add(1)
+			grew = false
+		}
+		backoff = m.backoffMin
+		m.attach(l, conn)
+		m.readAcks(l, conn) // blocks until the connection dies
+		l.mu.Lock()
+		if l.conn != nil && l.conn.Conn == conn {
+			m.killLocked(l, errors.New("ack reader exited"))
+		}
+		l.mu.Unlock()
+	}
+}
+
+func (m *Mesh) dialAndHandshake(addr string, to int) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	hello := make([]byte, len(meshMagic)+4)
+	copy(hello, meshMagic)
+	binary.BigEndian.PutUint32(hello[len(meshMagic):], uint32(m.self))
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	challenge := make([]byte, challengeLen)
+	if _, err := io.ReadFull(conn, challenge); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s := m.key.Sign(authMsg(m.self, to, challenge))
+	if _, err := conn.Write(s.Bytes()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var ok [1]byte
+	if _, err := io.ReadFull(conn, ok[:]); err != nil || ok[0] != handshakeOK {
+		conn.Close()
+		return nil, fmt.Errorf("handshake rejected by peer %d", to)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// attach installs a fresh connection on the link and resends the unacked
+// outbox, in sequence order, so the receiver's dedup sees a contiguous run.
+func (m *Mesh) attach(l *outLink, conn net.Conn) {
+	cc := &countingConn{Conn: conn}
+	l.mu.Lock()
+	if m.closed.Load() {
+		// Close already swept this link's connection slot; installing now
+		// would leak the conn past Close's teardown and wedge wg.Wait.
+		l.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	l.conn = cc
+	l.bw = bufio.NewWriterSize(cc, tcpWriteBuffer)
+	l.attached++
+	redial := l.attached > 1
+	if redial {
+		l.redials.Add(1)
+	}
+	for _, f := range l.outbox {
+		if _, err := l.bw.Write(f.buf); err != nil {
+			m.killLocked(l, err)
+			break
+		}
+		if redial {
+			l.resends.Add(1)
+		}
+	}
+	if l.bw != nil && l.bw.Buffered() > 0 {
+		if err := l.bw.Flush(); err != nil {
+			m.killLocked(l, err)
+		}
+	}
+	l.mu.Unlock()
+}
+
+// readAcks drains cumulative acks from the reverse direction of the
+// outbound connection, pruning the outbox.
+func (m *Mesh) readAcks(l *outLink, conn net.Conn) {
+	for {
+		var hdr [9]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		if hdr[0] != frameAck {
+			return
+		}
+		ack := binary.BigEndian.Uint64(hdr[1:])
+		l.mu.Lock()
+		i := 0
+		for i < len(l.outbox) && l.outbox[i].seq <= ack {
+			i++
+		}
+		if i > 0 {
+			l.outbox = append(l.outbox[:0], l.outbox[i:]...)
+		}
+		l.mu.Unlock()
+	}
+}
+
+// --- accepting ---
+
+func (m *Mesh) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.wg.Add(1)
+		go m.serveConn(conn)
+	}
+}
+
+// serveConn authenticates one inbound connection and then reads data frames
+// from it for the rest of its life, acking on the reverse direction.
+func (m *Mesh) serveConn(conn net.Conn) {
+	defer m.wg.Done()
+	defer conn.Close()
+	from, err := m.serverHandshake(conn)
+	if err != nil {
+		return
+	}
+	il := m.in[from]
+	il.mu.Lock()
+	il.conn = conn // newest connection wins the ack channel
+	il.mu.Unlock()
+	defer func() {
+		il.mu.Lock()
+		if il.conn == conn {
+			il.conn = nil
+		}
+		il.mu.Unlock()
+	}()
+	for {
+		var hdr [15]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		if hdr[0] != frameData {
+			return
+		}
+		seq := binary.BigEndian.Uint64(hdr[1:9])
+		total := binary.BigEndian.Uint32(hdr[9:13])
+		instLen := binary.BigEndian.Uint16(hdr[13:15])
+		if total > 1<<24 || uint32(instLen) > total {
+			return
+		}
+		buf := make([]byte, total)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		if m.closed.Load() {
+			return
+		}
+		il.mu.Lock()
+		if seq != il.lastSeq+1 {
+			// Duplicate (or superseded-connection replay) from a resync.
+			il.mu.Unlock()
+			il.dups.Add(1)
+			continue
+		}
+		il.lastSeq = seq
+		il.mu.Unlock()
+		inst, body := string(buf[:instLen]), buf[instLen:]
+		if il.wan != nil {
+			il.wan.push(inst, body)
+		} else {
+			m.deliver(from, inst, body)
+		}
+	}
+}
+
+// serverHandshake validates the dialer's identity claim with a fresh signed
+// challenge. A bad magic, out-of-range identity, invalid signature, or
+// replayed transcript is rejected before any protocol frame is accepted.
+func (m *Mesh) serverHandshake(conn net.Conn) (int, error) {
+	if err := conn.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
+		return -1, err
+	}
+	hello := make([]byte, len(meshMagic)+4)
+	if _, err := io.ReadFull(conn, hello); err != nil {
+		return -1, err
+	}
+	if string(hello[:len(meshMagic)]) != meshMagic {
+		return -1, errors.New("bad magic")
+	}
+	from := int(binary.BigEndian.Uint32(hello[len(meshMagic):]))
+	if from < 0 || from >= m.n || from == m.self {
+		return -1, fmt.Errorf("bad peer id %d", from)
+	}
+	challenge := make([]byte, challengeLen)
+	if _, err := rand.Read(challenge); err != nil {
+		return -1, err
+	}
+	if _, err := conn.Write(challenge); err != nil {
+		return -1, err
+	}
+	sb := make([]byte, sig.Size)
+	if _, err := io.ReadFull(conn, sb); err != nil {
+		m.in[from].authRejects.Add(1)
+		return -1, err
+	}
+	s, err := sig.SignatureFromBytes(sb)
+	if err != nil || !sig.Verify(m.board[from], authMsg(from, m.self, challenge), s) {
+		m.in[from].authRejects.Add(1)
+		return -1, fmt.Errorf("auth failed for claimed peer %d", from)
+	}
+	if _, err := conn.Write([]byte{handshakeOK}); err != nil {
+		return -1, err
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return -1, err
+	}
+	return from, nil
+}
+
+// --- timer: flush + acks ---
+
+// timerLoop is both the max-frame-latency bound for the coalescing writers
+// and the cumulative-ack pump: each tick flushes pending outbound buffers
+// and acks newly delivered sequences on every inbound link.
+func (m *Mesh) timerLoop() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.flushEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stopc:
+			return
+		case <-tick.C:
+			m.Flush()
+			for _, il := range m.in {
+				if il != nil {
+					m.ackLink(il)
+				}
+			}
+		}
+	}
+}
+
+func (m *Mesh) ackLink(il *inLink) {
+	il.mu.Lock()
+	if il.conn != nil && il.lastSeq > il.lastAcked {
+		var f [9]byte
+		f[0] = frameAck
+		binary.BigEndian.PutUint64(f[1:], il.lastSeq)
+		if _, err := il.conn.Write(f[:]); err != nil {
+			_ = il.conn.Close()
+			il.conn = nil
+		} else {
+			il.lastAcked = il.lastSeq
+		}
+	}
+	il.mu.Unlock()
+}
+
+// --- stats, shutdown ---
+
+// MeshStats aggregates one endpoint's transport counters.
+type MeshStats struct {
+	Frames   int64 // data frames accepted for sending (excludes resends)
+	Syscalls int64 // data-path socket writes (coalesced flushes)
+	Dropped  int64 // frames dropped to outbox overflow
+
+	Resends       int64 // frames rewritten during reconnect resyncs
+	Redials       int64 // connections re-established after the first
+	BackoffResets int64 // exponential backoff returns to minimum
+	AuthRejects   int64 // inbound handshakes rejected
+	Dups          int64 // duplicate inbound frames dropped by seq dedup
+
+	WANDelays int64 // inbound frames held by WAN emulation
+	WANLosses int64 // loss→retransmit latency events injected
+}
+
+func (s *MeshStats) add(o MeshStats) {
+	s.Frames += o.Frames
+	s.Syscalls += o.Syscalls
+	s.Dropped += o.Dropped
+	s.Resends += o.Resends
+	s.Redials += o.Redials
+	s.BackoffResets += o.BackoffResets
+	s.AuthRejects += o.AuthRejects
+	s.Dups += o.Dups
+	s.WANDelays += o.WANDelays
+	s.WANLosses += o.WANLosses
+}
+
+// Stats snapshots this endpoint's counters.
+func (m *Mesh) Stats() MeshStats {
+	var st MeshStats
+	for _, l := range m.out {
+		if l == nil {
+			continue
+		}
+		st.Frames += l.frames.Load()
+		st.Dropped += l.drops.Load()
+		st.Resends += l.resends.Load()
+		st.Redials += l.redials.Load()
+		st.BackoffResets += l.backoffResets.Load()
+		st.Syscalls += l.syscalls.Load()
+		l.mu.Lock()
+		if l.conn != nil {
+			st.Syscalls += l.conn.writes.Load()
+		}
+		l.mu.Unlock()
+	}
+	for _, il := range m.in {
+		if il == nil {
+			continue
+		}
+		st.AuthRejects += il.authRejects.Load()
+		st.Dups += il.dups.Load()
+		if il.wan != nil {
+			st.WANDelays += il.wan.delays.Load()
+			st.WANLosses += il.wan.losses.Load()
+		}
+	}
+	return st
+}
+
+// LinkDrops reports outbox-overflow drops on the (self → to) link.
+func (m *Mesh) LinkDrops(to int) int64 {
+	if to < 0 || to >= m.n || m.out[to] == nil {
+		return 0
+	}
+	return m.out[to].drops.Load()
+}
+
+// AuthRejects reports rejected inbound handshakes that claimed identity
+// `from` — the impostor counter.
+func (m *Mesh) AuthRejects(from int) int64 {
+	if from < 0 || from >= m.n || m.in[from] == nil {
+		return 0
+	}
+	return m.in[from].authRejects.Load()
+}
+
+// Close flushes pending writers best-effort and tears the endpoint down. It
+// is idempotent.
+func (m *Mesh) Close() {
+	if !m.closed.CompareAndSwap(false, true) {
+		return
+	}
+	// Final drain so frames written just before shutdown reach peers that
+	// are still up (graceful-shutdown flush).
+	for _, l := range m.out {
+		if l == nil {
+			continue
+		}
+		l.mu.Lock()
+		if l.bw != nil && l.bw.Buffered() > 0 {
+			_ = l.bw.Flush()
+		}
+		l.mu.Unlock()
+	}
+	close(m.stopc)
+	_ = m.ln.Close()
+	for _, l := range m.out {
+		if l == nil {
+			continue
+		}
+		l.mu.Lock()
+		if l.conn != nil {
+			_ = l.conn.Close()
+			l.conn = nil
+			l.bw = nil
+		}
+		l.mu.Unlock()
+	}
+	for _, il := range m.in {
+		if il == nil {
+			continue
+		}
+		if il.wan != nil {
+			il.wan.close()
+		}
+		il.mu.Lock()
+		if il.conn != nil {
+			_ = il.conn.Close()
+			il.conn = nil
+		}
+		il.mu.Unlock()
+	}
+	m.wg.Wait()
+}

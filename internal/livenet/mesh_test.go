@@ -1,0 +1,242 @@
+package livenet
+
+import (
+	"encoding/binary"
+	"io"
+	mrand "math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/crypto/sig"
+	"repro/internal/proto"
+)
+
+// TestMeshImpostorRejected pins the authenticated handshake: a connection
+// claiming party 0's identity but signing with the wrong key (or garbage)
+// is dropped before any frame is accepted and counted in PeerDrops.
+func TestMeshImpostorRejected(t *testing.T) {
+	nw, err := New(Config{N: 2, F: 0, Seed: 10, Transport: TCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	delivered := make(chan struct{}, 4)
+	nw.Node(1).Register("x", proto.HandlerFunc(func(int, []byte) { delivered <- struct{}{} }))
+
+	impostor := func(t *testing.T, forged []byte) {
+		t.Helper()
+		conn, err := net.Dial("tcp", nw.MeshAddr(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		hello := make([]byte, len(meshMagic)+4)
+		copy(hello, meshMagic)
+		binary.BigEndian.PutUint32(hello[len(meshMagic):], 0) // claim party 0
+		if _, err := conn.Write(hello); err != nil {
+			t.Fatal(err)
+		}
+		challenge := make([]byte, challengeLen)
+		if _, err := io.ReadFull(conn, challenge); err != nil {
+			t.Fatal(err)
+		}
+		var sigBytes []byte
+		if forged != nil {
+			sigBytes = forged
+		} else {
+			// Valid signature shape, wrong key: a real impostor.
+			wrongKey, err := sig.GenerateKey(mrand.New(mrand.NewSource(999)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigBytes = wrongKey.Sign(authMsg(0, 1, challenge)).Bytes()
+		}
+		if _, err := conn.Write(sigBytes); err != nil {
+			t.Fatal(err)
+		}
+		// The handshake must end in rejection: connection closed with no
+		// acceptance byte.
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		var ok [1]byte
+		if _, err := io.ReadFull(conn, ok[:]); err == nil && ok[0] == handshakeOK {
+			t.Fatal("impostor handshake accepted")
+		}
+	}
+
+	impostor(t, nil)                    // wrong key
+	impostor(t, make([]byte, sig.Size)) // garbage signature
+	for deadline := time.Now().Add(5 * time.Second); nw.PeerDrops(0, 1) < 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("auth rejects not counted: PeerDrops(0,1)=%d", nw.PeerDrops(0, 1))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := nw.TCPStats(); st.AuthRejects < 2 {
+		t.Fatalf("TCPStats.AuthRejects=%d, want ≥ 2", st.AuthRejects)
+	}
+	// The legitimate link still works after the impostor attempts.
+	nw.Node(0).Do(func() { nw.Node(0).Send("x", 1, []byte("real")) })
+	select {
+	case <-delivered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("legitimate frame not delivered after impostor attempts")
+	}
+}
+
+// TestMeshOutboxOverflowDrops pins the only loss mode left in the
+// transport: a peer unreachable for longer than the retention window
+// overflows the bounded outbox, and the overflow is counted per link.
+func TestMeshOutboxOverflowDrops(t *testing.T) {
+	auth, err := DeriveAuth(2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMesh(MeshConfig{
+		Self: 0, N: 2,
+		Key: auth.Keys[0], Board: auth.Board,
+		Deliver:      func(int, string, []byte) {},
+		OutboxFrames: 8,
+		BackoffMin:   time.Millisecond, BackoffMax: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Peer 1's address refuses connections, so nothing is ever acked.
+	if err := m.Connect([]string{m.Addr(), "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		m.Send(1, "x", []byte("stuck"))
+	}
+	st := m.Stats()
+	if st.Dropped != 12 {
+		t.Fatalf("Dropped=%d, want 12 (20 sends, 8 retained)", st.Dropped)
+	}
+	if got := m.LinkDrops(1); got != 12 {
+		t.Fatalf("LinkDrops(1)=%d, want 12", got)
+	}
+	if st.Frames != 8 {
+		t.Fatalf("Frames=%d, want 8 accepted", st.Frames)
+	}
+}
+
+// TestWANEmulationDelaysDelivery pins the userspace WAN layer: with a
+// 30 ms one-way profile on every link, a frame takes at least that long to
+// arrive, and the held frames are counted.
+func TestWANEmulationDelaysDelivery(t *testing.T) {
+	const oneWay = 30 * time.Millisecond
+	nw, err := New(Config{
+		N: 2, F: 0, Seed: 12, Transport: TCP,
+		WAN: UniformWAN("test", 2, LinkProfile{Delay: oneWay}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	got := make(chan time.Time, 1)
+	nw.Node(1).Register("x", proto.HandlerFunc(func(int, []byte) { got <- time.Now() }))
+	start := time.Now()
+	nw.Node(0).Do(func() { nw.Node(0).Send("x", 1, []byte("slow")) })
+	select {
+	case at := <-got:
+		if elapsed := at.Sub(start); elapsed < oneWay {
+			t.Fatalf("frame arrived after %v, want ≥ %v", elapsed, oneWay)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("WAN-delayed frame never arrived")
+	}
+	if st := nw.TCPStats(); st.WANDelays == 0 {
+		t.Fatalf("WANDelays=0 after a delayed delivery: %+v", st)
+	}
+}
+
+// TestWANLossInjectsRetransmitLatency pins loss-as-latency: a lossy link
+// stays reliable (the protocols assume reliable links) but pays an RTO per
+// injected loss, and the injections are counted.
+func TestWANLossInjectsRetransmitLatency(t *testing.T) {
+	nw, err := New(Config{
+		N: 2, F: 0, Seed: 13, Transport: TCP,
+		WAN: UniformWAN("lossy", 2, LinkProfile{Delay: time.Millisecond, Loss: 0.5, RTO: 2 * time.Millisecond}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	const burst = 64
+	got := make(chan struct{}, burst)
+	nw.Node(1).Register("x", proto.HandlerFunc(func(int, []byte) { got <- struct{}{} }))
+	nw.Node(0).Do(func() {
+		for i := 0; i < burst; i++ {
+			nw.Node(0).Send("x", 1, []byte("lossy"))
+		}
+	})
+	collect(t, got, burst, 20*time.Second) // reliable despite 50% loss
+	if st := nw.TCPStats(); st.WANLosses == 0 {
+		t.Fatalf("no loss events injected at 50%% loss over %d frames", burst)
+	}
+}
+
+// TestWANLinkPreservesFIFO pins the ordering contract of the delay line:
+// jittered per-frame delays must not reorder a link (the seq/ack layer and
+// the protocols both assume FIFO links).
+func TestWANLinkPreservesFIFO(t *testing.T) {
+	var mu sync.Mutex
+	var order []byte
+	done := make(chan struct{})
+	const frames = 50
+	l := &wanLink{
+		profile: LinkProfile{Jitter: 3 * time.Millisecond},
+		rng:     mrand.New(mrand.NewSource(1)),
+		deliver: func(_ string, body []byte) {
+			mu.Lock()
+			order = append(order, body[0])
+			if len(order) == frames {
+				close(done)
+			}
+			mu.Unlock()
+		},
+	}
+	for i := 0; i < frames; i++ {
+		l.push("x", []byte{byte(i)})
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("wan link stalled")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, b := range order {
+		if int(b) != i {
+			t.Fatalf("reordered: position %d got frame %d", i, b)
+		}
+	}
+}
+
+// TestDeriveAuthDeterministic keeps the fallback transport keyset
+// replayable: same (n, seed) must yield the same board.
+func TestDeriveAuthDeterministic(t *testing.T) {
+	a, err := DeriveAuth(3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeriveAuth(3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Board {
+		if !a.Board[i].P.Equal(b.Board[i].P) {
+			t.Fatalf("key %d differs across derivations", i)
+		}
+	}
+	c, err := DeriveAuth(3, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Board[0].P.Equal(c.Board[0].P) {
+		t.Fatal("different seeds produced the same key")
+	}
+}

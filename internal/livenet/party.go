@@ -1,0 +1,238 @@
+package livenet
+
+// Party is the single-party deployment runtime: one Node (dispatcher) wired
+// to one Mesh endpoint, where the in-process Network wires n of each. It is
+// what a noded OS process hosts — the other n-1 parties live in other
+// processes (or machines) and are reached through the authenticated TCP
+// mesh. Party implements the same nodeEnv contract as Network, so the exact
+// dispatcher code runs in both deployment shapes.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/crypto/sig"
+	"repro/internal/proto"
+)
+
+// PartyConfig describes one party's runtime in a multi-process cluster.
+type PartyConfig struct {
+	// Self is this party's index; N/F are the cluster shape.
+	Self, N, F int
+	// Listen is the mesh data listen address ("" selects 127.0.0.1:0).
+	Listen string
+	// Key signs transport handshakes; Board (length N) verifies peers.
+	// These are the bulletin-PKI signing keys, so wire identity and
+	// protocol identity are the same key.
+	Key   sig.PrivateKey
+	Board []sig.PublicKey
+	// Seed feeds the dispatcher RNG and WAN emulation; every process must
+	// use the cluster-wide seed so per-link WAN replay agrees end to end.
+	Seed int64
+	// WAN optionally emulates wide-area conditions on this party's inbound
+	// links (nil = none).
+	WAN *WANProfile
+	// FlushEvery bounds TCP coalescing-buffer latency (0 = default).
+	FlushEvery time.Duration
+	// BackoffMin/BackoffMax bound the redial backoff (0 = mesh defaults).
+	BackoffMin, BackoffMax time.Duration
+	// OutboxFrames caps per-link unacked-frame retention (0 = default).
+	OutboxFrames int
+}
+
+// Party is a running single-party runtime.
+type Party struct {
+	self, n, f int
+	node       *Node
+	mesh       *Mesh
+
+	mmu     sync.Mutex
+	total   Tally
+	perInst map[string]*Tally
+
+	closeOnce sync.Once
+}
+
+// NewParty starts the dispatcher and binds the mesh listener. The party is
+// not reachable-out until Connect supplies peer addresses, but it accepts
+// inbound connections immediately, so processes may start in any order.
+func NewParty(cfg PartyConfig) (*Party, error) {
+	if cfg.N <= 0 || cfg.Self < 0 || cfg.Self >= cfg.N {
+		return nil, fmt.Errorf("livenet: party %d of %d out of range", cfg.Self, cfg.N)
+	}
+	p := &Party{
+		self:    cfg.Self,
+		n:       cfg.N,
+		f:       cfg.F,
+		perInst: make(map[string]*Tally),
+	}
+	nd := &Node{
+		env:     p,
+		idx:     cfg.Self,
+		insts:   make(map[string]proto.Handler),
+		pending: make(map[string][]task),
+		// Same derivation as Network's per-node RNG so runs seeded alike
+		// draw alike regardless of deployment shape.
+		rng: rand.New(rand.NewSource(cfg.Seed*7_368_787 + int64(cfg.Self))),
+	}
+	nd.cond = sync.NewCond(&nd.mu)
+	p.node = nd
+	m, err := NewMesh(MeshConfig{
+		Self:         cfg.Self,
+		N:            cfg.N,
+		Listen:       cfg.Listen,
+		Key:          cfg.Key,
+		Board:        cfg.Board,
+		Deliver:      nd.enqueue,
+		WAN:          cfg.WAN,
+		Seed:         cfg.Seed,
+		FlushEvery:   cfg.FlushEvery,
+		BackoffMin:   cfg.BackoffMin,
+		BackoffMax:   cfg.BackoffMax,
+		OutboxFrames: cfg.OutboxFrames,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("livenet: party %d mesh: %w", cfg.Self, err)
+	}
+	p.mesh = m
+	nd.done.Add(1)
+	go nd.dispatch()
+	return p, nil
+}
+
+// Addr returns the mesh data listen address to advertise to peers.
+func (p *Party) Addr() string { return p.mesh.Addr() }
+
+// Connect supplies all peer data addresses (length N; own slot ignored) and
+// starts the outbound dial loops.
+func (p *Party) Connect(peers []string) error {
+	if len(peers) != p.n {
+		return fmt.Errorf("livenet: party %d: %d peer addrs, want %d", p.self, len(peers), p.n)
+	}
+	return p.mesh.Connect(peers)
+}
+
+// Self returns this party's index.
+func (p *Party) Self() int { return p.self }
+
+// Node returns the party's protocol runtime.
+func (p *Party) Node() *Node { return p.node }
+
+// Runtime returns the protocol-facing surface (driverHost). Only the
+// party's own index is hosted here.
+func (p *Party) Runtime(i int) proto.Runtime {
+	if i != p.self {
+		panic(fmt.Sprintf("livenet: party %d asked for runtime %d (other parties live in other processes)", p.self, i))
+	}
+	return p.node
+}
+
+// Launch schedules fn onto the dispatcher goroutine (driverHost).
+func (p *Party) Launch(i int, fn func()) {
+	if i != p.self {
+		panic(fmt.Sprintf("livenet: party %d asked to launch on %d", p.self, i))
+	}
+	p.node.Do(fn)
+}
+
+// Do schedules fn onto the dispatcher goroutine — the only legal way for
+// external code (the control RPC) to touch protocol state.
+func (p *Party) Do(fn func()) { p.node.Do(fn) }
+
+// Sever force-closes the current outbound connection to peer `to`; the
+// mesh redials with backoff and resends unacked frames — the fault-
+// injection hook for reconnect tests. It reports whether a live connection
+// was actually killed (false while the link is still dialing).
+func (p *Party) Sever(to int) bool { return p.mesh.Sever(to) }
+
+// TotalTally reports all traffic this party sent since start.
+func (p *Party) TotalTally() Tally {
+	p.mmu.Lock()
+	defer p.mmu.Unlock()
+	return p.total
+}
+
+// ByInstance sums this party's traffic under instance path tag (tag itself
+// or any tag/… sub-path).
+func (p *Party) ByInstance(tag string) Tally {
+	prefix := tag + "/"
+	var out Tally
+	p.mmu.Lock()
+	defer p.mmu.Unlock()
+	for inst, t := range p.perInst {
+		if inst == tag || strings.HasPrefix(inst, prefix) {
+			out.Msgs += t.Msgs
+			out.Bytes += t.Bytes
+		}
+	}
+	return out
+}
+
+// TCPStats reports this endpoint's mesh counters.
+func (p *Party) TCPStats() TCPStats {
+	s := p.mesh.Stats()
+	return TCPStats{
+		Frames:        s.Frames,
+		Syscalls:      s.Syscalls,
+		Dropped:       s.Dropped,
+		Resends:       s.Resends,
+		Redials:       s.Redials,
+		BackoffResets: s.BackoffResets,
+		AuthRejects:   s.AuthRejects,
+		Dups:          s.Dups,
+		WANDelays:     s.WANDelays,
+		WANLosses:     s.WANLosses,
+	}
+}
+
+// Rejected reports malformed messages dropped by the protocol layer.
+func (p *Party) Rejected() int64 { return p.node.rejected.Load() }
+
+// Flush pushes buffered outbound frames to the wire — part of graceful
+// shutdown, so peers receive everything sent before exit.
+func (p *Party) Flush() { p.mesh.Flush() }
+
+// Close flushes and tears down the mesh, then stops the dispatcher. It is
+// idempotent.
+func (p *Party) Close() {
+	p.closeOnce.Do(func() {
+		p.mesh.Close()
+		nd := p.node
+		nd.mu.Lock()
+		nd.closed = true
+		nd.cond.Broadcast()
+		nd.mu.Unlock()
+		nd.done.Wait()
+	})
+}
+
+// Party's nodeEnv implementation.
+func (p *Party) partyCount() int { return p.n }
+func (p *Party) faultBound() int { return p.f }
+
+func (p *Party) record(inst string, bodyLen int) {
+	cost := int64(bodyLen + len(inst) + envelopeOverhead)
+	p.mmu.Lock()
+	defer p.mmu.Unlock()
+	p.total.Msgs++
+	p.total.Bytes += cost
+	t := p.perInst[inst]
+	if t == nil {
+		t = &Tally{}
+		p.perInst[inst] = t
+	}
+	t.Msgs++
+	t.Bytes += cost
+}
+
+func (p *Party) transportSend(from, to int, inst string, body []byte) {
+	if from != p.self {
+		panic(fmt.Sprintf("livenet: party %d sending as %d", p.self, from))
+	}
+	p.mesh.Send(to, inst, body)
+}
+
+func (p *Party) transportFlush(int) { p.mesh.Flush() }

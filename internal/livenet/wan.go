@@ -1,0 +1,214 @@
+package livenet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LinkProfile is the userspace WAN emulation of one directed link: every
+// frame read off the (from → to) connection is held for a sampled one-way
+// delay before delivery. Loss is modelled the way a reliable transport
+// experiences it — a lost packet is retransmitted, so the application sees
+// added latency, never a missing message: each independent loss event adds
+// one RTO to the frame's delay. That keeps the emulation composable with the
+// protocols' reliable-link assumption while still making lossy links
+// measurably slower, exactly like TCP over a lossy WAN path.
+type LinkProfile struct {
+	// Delay is the base one-way propagation delay.
+	Delay time.Duration `json:"delay"`
+	// Jitter is the maximum additional uniform random delay.
+	Jitter time.Duration `json:"jitter,omitempty"`
+	// Loss is the per-frame packet-loss probability in [0, 1). Each loss
+	// event injects one RTO of retransmission latency (geometric: a
+	// retransmission can itself be lost).
+	Loss float64 `json:"loss,omitempty"`
+	// RTO is the retransmission timeout charged per injected loss; zero
+	// selects DefaultRTO when Loss > 0.
+	RTO time.Duration `json:"rto,omitempty"`
+}
+
+// DefaultRTO is the retransmission penalty per injected loss when a lossy
+// link does not set its own.
+const DefaultRTO = 200 * time.Millisecond
+
+// zero reports whether the link needs no emulation at all.
+func (l LinkProfile) zero() bool {
+	return l.Delay == 0 && l.Jitter == 0 && l.Loss == 0
+}
+
+// WANProfile assigns a LinkProfile to every directed party pair. Profiles
+// are plain data (JSON-serializable) so a launcher can write them into
+// per-party daemon configs.
+type WANProfile struct {
+	Name string `json:"name"`
+	// Links[from][to] is the profile of the from → to direction. A nil or
+	// short matrix means zero-profile (no emulation) for missing entries.
+	Links [][]LinkProfile `json:"links"`
+}
+
+// Link returns the profile of the from → to direction (zero when absent).
+func (w *WANProfile) Link(from, to int) LinkProfile {
+	if w == nil || from < 0 || from >= len(w.Links) {
+		return LinkProfile{}
+	}
+	row := w.Links[from]
+	if to < 0 || to >= len(row) {
+		return LinkProfile{}
+	}
+	return row[to]
+}
+
+// UniformWAN builds an n-party profile where every inter-party link shares
+// one LinkProfile (self-links stay zero).
+func UniformWAN(name string, n int, link LinkProfile) *WANProfile {
+	w := &WANProfile{Name: name, Links: make([][]LinkProfile, n)}
+	for i := range w.Links {
+		w.Links[i] = make([]LinkProfile, n)
+		for j := range w.Links[i] {
+			if i != j {
+				w.Links[i][j] = link
+			}
+		}
+	}
+	return w
+}
+
+// RegionWAN builds an n-party profile from a region latency matrix: party i
+// lives in region regions[i%len(regions)], and the (i, j) link takes the
+// one-way delay matrix[ri][rj] with the given jitter and loss on
+// inter-region links. This is how a launcher replays a Table-1-style
+// geo-distributed topology on one machine.
+func RegionWAN(name string, n int, matrix [][]time.Duration, jitter time.Duration, loss float64) *WANProfile {
+	r := len(matrix)
+	w := &WANProfile{Name: name, Links: make([][]LinkProfile, n)}
+	for i := range w.Links {
+		w.Links[i] = make([]LinkProfile, n)
+		for j := range w.Links[i] {
+			if i == j {
+				continue
+			}
+			ri, rj := i%r, j%r
+			lp := LinkProfile{Delay: matrix[ri][rj]}
+			if ri != rj {
+				lp.Jitter = jitter
+				lp.Loss = loss
+			}
+			w.Links[i][j] = lp
+		}
+	}
+	return w
+}
+
+// linkSeed derives the per-link RNG seed so both endpoints of a deployment
+// (separate processes) sample identical delay sequences from the shared base
+// seed — the emulated network is replayable by (profile, seed) alone.
+func linkSeed(base int64, from, to int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "wan/%d/%d", from, to)
+	return base ^ int64(h.Sum64())
+}
+
+// wanLink schedules delayed in-order delivery for one inbound directed
+// link. TCP never reorders within a connection, and the seq/ack resend layer
+// depends on FIFO links, so emulated delay must preserve order: each frame's
+// delivery time is clamped to be monotone (a frame sampled with a shorter
+// delay than its predecessor queues behind it, exactly like bytes on a real
+// path).
+type wanLink struct {
+	profile LinkProfile
+	rng     *rand.Rand
+
+	mu      sync.Mutex
+	queue   []wanFrame
+	last    time.Time // latest scheduled delivery time
+	running bool
+	closed  bool
+
+	delays atomic.Int64 // frames held for a positive delay
+	losses atomic.Int64 // injected loss→retransmit events
+
+	deliver func(inst string, body []byte)
+}
+
+type wanFrame struct {
+	at   time.Time
+	inst string
+	body []byte
+}
+
+// sample draws one frame's emulated one-way latency.
+func (l *wanLink) sample() time.Duration {
+	d := l.profile.Delay
+	if l.profile.Jitter > 0 {
+		d += time.Duration(l.rng.Int63n(int64(l.profile.Jitter)))
+	}
+	if l.profile.Loss > 0 {
+		rto := l.profile.RTO
+		if rto <= 0 {
+			rto = DefaultRTO
+		}
+		// Geometric retransmission: every loss event costs one RTO, and the
+		// retransmitted packet can be lost again. Capped so a pathological
+		// profile cannot wedge a link.
+		for k := 0; k < 16 && l.rng.Float64() < l.profile.Loss; k++ {
+			d += rto
+			l.losses.Add(1)
+		}
+	}
+	return d
+}
+
+// push schedules one frame for delayed delivery.
+func (l *wanLink) push(inst string, body []byte) {
+	d := l.sample()
+	if d > 0 {
+		l.delays.Add(1)
+	}
+	now := time.Now()
+	at := now.Add(d)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	if at.Before(l.last) {
+		at = l.last // FIFO: never overtake the previous frame
+	}
+	l.last = at
+	l.queue = append(l.queue, wanFrame{at: at, inst: inst, body: body})
+	if !l.running {
+		l.running = true
+		go l.run()
+	}
+	l.mu.Unlock()
+}
+
+// run drains the queue, sleeping until each frame's delivery time.
+func (l *wanLink) run() {
+	for {
+		l.mu.Lock()
+		if l.closed || len(l.queue) == 0 {
+			l.running = false
+			l.mu.Unlock()
+			return
+		}
+		f := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+		if d := time.Until(f.at); d > 0 {
+			time.Sleep(d)
+		}
+		l.deliver(f.inst, f.body)
+	}
+}
+
+func (l *wanLink) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.queue = nil
+	l.mu.Unlock()
+}

@@ -1,0 +1,220 @@
+package noded
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pki"
+)
+
+// reservePorts binds k ephemeral loopback ports and releases them, so test
+// clusters can exchange concrete addresses before any daemon starts (the
+// same trick the nodenet launcher uses).
+func reservePorts(t *testing.T, k int) []string {
+	t.Helper()
+	addrs := make([]string, k)
+	lns := make([]net.Listener, k)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// startCluster runs n daemons inside the test process — every layer of
+// noded (config round trip, mesh handshake, control RPC) is real; only the
+// process boundary is missing (cmd/nodenet tests cover that).
+func startCluster(t *testing.T, n, f int, seed int64) []*Client {
+	t.Helper()
+	rings, _, err := pki.Setup(n, rand.New(rand.NewSource(seed^0x5eed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := reservePorts(t, 2*n)
+	mesh, control := ports[:n], ports[n:]
+	daemons := make([]*Daemon, n)
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		cfg := &Config{
+			N: n, F: f, Seed: seed,
+			Listen: mesh[i], Control: control[i], Peers: mesh,
+			Keys:           rings[i].Config(),
+			AwaitTimeoutMS: int((60 * time.Second).Milliseconds()),
+			DrainTimeoutMS: int((30 * time.Second).Milliseconds()),
+		}
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		go d.Serve()
+		daemons[i] = d
+	}
+	t.Cleanup(func() {
+		var wg sync.WaitGroup
+		for _, d := range daemons {
+			wg.Add(1)
+			go func(d *Daemon) { defer wg.Done(); d.Shutdown() }(d)
+		}
+		wg.Wait()
+	})
+	for i := 0; i < n; i++ {
+		c, err := Dial(control[i], 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		if _, err := c.Call(&Request{Op: OpPing}, 5*time.Second); err != nil {
+			t.Fatalf("ping party %d: %v", i, err)
+		}
+		clients[i] = c
+	}
+	return clients
+}
+
+func awaitAll(t *testing.T, clients []*Client, tag string) []*Decision {
+	t.Helper()
+	decs := make([]*Decision, len(clients))
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			resp, err := c.Call(&Request{Op: OpAwait, Tag: tag}, 0)
+			if err != nil {
+				t.Errorf("await party %d: %v", i, err)
+				return
+			}
+			decs[i] = resp.Decision
+		}(i, c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatalf("await %q failed", tag)
+	}
+	return decs
+}
+
+// TestDaemonElectionAgrees runs one election across 4 daemons, each hosting
+// one party over the authenticated mesh, and checks every process reports
+// the same leader — the core cross-process agreement check.
+func TestDaemonElectionAgrees(t *testing.T) {
+	clients := startCluster(t, 4, 1, 11)
+	for i, c := range clients {
+		if _, err := c.Call(&Request{Op: OpLaunch, Kind: "election", Tag: "e", Genesis: []byte("g")}, 10*time.Second); err != nil {
+			t.Fatalf("launch party %d: %v", i, err)
+		}
+	}
+	decs := awaitAll(t, clients, "e")
+	for i, d := range decs {
+		if d.Kind != "election" || d.Tag != "e" {
+			t.Fatalf("party %d decision %+v", i, d)
+		}
+		if d.Leader != decs[0].Leader || d.ByDefault != decs[0].ByDefault {
+			t.Fatalf("party %d elected %d (byDefault=%v), party 0 elected %d (byDefault=%v)",
+				i, d.Leader, d.ByDefault, decs[0].Leader, decs[0].ByDefault)
+		}
+	}
+}
+
+// TestDaemonVBANamedPredicate runs a VBA whose validity predicate crosses
+// the control plane by name, with distinct proposals; all daemons must
+// decide one identical predicate-satisfying value.
+func TestDaemonVBANamedPredicate(t *testing.T) {
+	clients := startCluster(t, 4, 1, 12)
+	for i, c := range clients {
+		req := &Request{
+			Op: OpLaunch, Kind: "vba", Tag: "v", Genesis: []byte("g"),
+			Input:     []byte(fmt.Sprintf("ok:p%d", i)),
+			Predicate: "prefix:ok:",
+		}
+		if _, err := c.Call(req, 10*time.Second); err != nil {
+			t.Fatalf("launch party %d: %v", i, err)
+		}
+	}
+	decs := awaitAll(t, clients, "v")
+	for i, d := range decs {
+		if !strings.HasPrefix(d.Value, "ok:") {
+			t.Fatalf("party %d decided %q, violating the predicate", i, d.Value)
+		}
+		if d.Value != decs[0].Value {
+			t.Fatalf("party %d decided %q, party 0 decided %q", i, d.Value, decs[0].Value)
+		}
+	}
+}
+
+// TestDaemonLedgerDrainDigest launches a streaming ledger on every daemon,
+// drains it through the control plane, and checks all parties report the
+// same final slot and the same ordered-log digest covering every submitted
+// transaction — atomic broadcast across processes.
+func TestDaemonLedgerDrainDigest(t *testing.T) {
+	clients := startCluster(t, 4, 1, 13)
+	const txCount, txBytes = 8, 48
+	for i, c := range clients {
+		req := &Request{
+			Op: OpLaunch, Kind: "ledger", Tag: "l", Genesis: []byte("g"),
+			TxCount: txCount, TxBytes: txBytes,
+		}
+		if _, err := c.Call(req, 10*time.Second); err != nil {
+			t.Fatalf("launch party %d: %v", i, err)
+		}
+	}
+	for i, c := range clients {
+		if _, err := c.Call(&Request{Op: OpDrain, Tag: "l"}, 10*time.Second); err != nil {
+			t.Fatalf("drain party %d: %v", i, err)
+		}
+	}
+	decs := awaitAll(t, clients, "l")
+	for i, d := range decs {
+		if d.Txs != 4*txCount {
+			t.Fatalf("party %d delivered %d txs, want %d", i, d.Txs, 4*txCount)
+		}
+		if d.Value != decs[0].Value || d.FinalSlot != decs[0].FinalSlot {
+			t.Fatalf("party %d log (slot %d, %s) != party 0 log (slot %d, %s)",
+				i, d.FinalSlot, d.Value, decs[0].FinalSlot, decs[0].Value)
+		}
+	}
+}
+
+// TestDaemonControlErrors pins the control-plane failure modes: unknown
+// ops, unknown kinds and predicates, duplicate tags, awaits on unknown
+// tags.
+func TestDaemonControlErrors(t *testing.T) {
+	clients := startCluster(t, 4, 1, 14)
+	c := clients[0]
+	if _, err := c.Call(&Request{Op: "frobnicate"}, 5*time.Second); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := c.Call(&Request{Op: OpLaunch, Kind: "nope", Tag: "x"}, 5*time.Second); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := c.Call(&Request{Op: OpLaunch, Kind: "vba", Tag: "x", Predicate: "weird"}, 5*time.Second); err == nil {
+		t.Fatal("unknown predicate accepted")
+	}
+	if _, err := c.Call(&Request{Op: OpAwait, Tag: "ghost", TimeoutMS: 1000}, 5*time.Second); err == nil {
+		t.Fatal("await on unknown tag accepted")
+	}
+	if _, err := c.Call(&Request{Op: OpLaunch, Kind: "coin", Tag: "dup", Genesis: []byte("g")}, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(&Request{Op: OpLaunch, Kind: "coin", Tag: "dup", Genesis: []byte("g")}, 5*time.Second); err == nil {
+		t.Fatal("duplicate tag accepted")
+	}
+	if _, err := c.Call(&Request{Op: OpSever, To: 99}, 5*time.Second); err == nil {
+		t.Fatal("out-of-range sever accepted")
+	}
+}

@@ -1,0 +1,239 @@
+package noded
+
+// Per-kind instance launchers. These mirror internal/exp's cluster
+// launchers, but run on exactly one party: the other n-1 instances of the
+// same tag live in other processes, reached over the mesh. All protocol
+// construction happens on the dispatcher goroutine (party.Do), and every
+// decision funnels into Daemon.complete as a wire-comparable Decision.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+
+	"repro/internal/core/aba"
+	"repro/internal/core/abc"
+	"repro/internal/core/adkg"
+	"repro/internal/core/beacon"
+	"repro/internal/core/coin"
+	"repro/internal/core/election"
+	"repro/internal/core/vba"
+)
+
+// Default ledger workload shape (overridable per launch request).
+const (
+	defaultTxCount = 32
+	defaultTxBytes = 128
+)
+
+func (d *Daemon) launch(req *Request) error {
+	genesis := req.Genesis
+	if len(genesis) == 0 {
+		genesis = []byte(req.Tag)
+	}
+	cfg := coin.Config{GenesisNonce: genesis}
+	rt, keys := d.party.Node(), d.ring
+
+	switch req.Kind {
+	case "coin":
+		inst, err := d.register(req.Kind, req.Tag)
+		if err != nil {
+			return err
+		}
+		d.party.Do(func() {
+			c := coin.New(rt, req.Tag, keys, cfg, func(r coin.Result) {
+				d.complete(inst, &Decision{Kind: "coin", Tag: req.Tag, Bit: int(r.Bit)})
+			})
+			c.Start()
+		})
+
+	case "aba":
+		inst, err := d.register(req.Kind, req.Tag)
+		if err != nil {
+			return err
+		}
+		var bit byte
+		if len(req.Input) > 0 {
+			bit = req.Input[0] & 1
+		}
+		d.party.Do(func() {
+			var a *aba.ABA
+			a = aba.New(rt, req.Tag, aba.PaperCoins(rt, req.Tag+"/c", keys, cfg), func(b byte) {
+				d.complete(inst, &Decision{Kind: "aba", Tag: req.Tag, Bit: int(b), Round: a.DecidedRound})
+			})
+			a.Start(bit)
+		})
+
+	case "election":
+		inst, err := d.register(req.Kind, req.Tag)
+		if err != nil {
+			return err
+		}
+		d.party.Do(func() {
+			e := election.New(rt, req.Tag, keys, election.Config{Coin: cfg}, func(r election.Result) {
+				d.complete(inst, &Decision{Kind: "election", Tag: req.Tag, Leader: r.Leader, ByDefault: r.ByDefault})
+			})
+			e.Start()
+		})
+
+	case "vba":
+		pred, err := PredicateByName(req.Predicate)
+		if err != nil {
+			return err
+		}
+		inst, err := d.register(req.Kind, req.Tag)
+		if err != nil {
+			return err
+		}
+		proposal := append([]byte(nil), req.Input...)
+		d.party.Do(func() {
+			var v *vba.VBA
+			v = vba.New(rt, req.Tag, keys, pred, vba.Config{Coin: cfg}, func(val []byte) {
+				d.complete(inst, &Decision{Kind: "vba", Tag: req.Tag, Value: string(val), View: v.DecidedView})
+			})
+			v.Start(proposal)
+		})
+
+	case "adkg":
+		inst, err := d.register(req.Kind, req.Tag)
+		if err != nil {
+			return err
+		}
+		d.party.Do(func() {
+			a := adkg.New(rt, req.Tag, keys, adkg.Config{VBA: vba.Config{Coin: cfg}}, func(k adkg.ThresholdKey) {
+				d.complete(inst, &Decision{
+					Kind:    "adkg",
+					Tag:     req.Tag,
+					GroupPK: hex.EncodeToString(k.GroupPK.Bytes()),
+					Weight:  k.Script.WeightCount(),
+				})
+			})
+			a.Start()
+		})
+
+	case "beacon":
+		epochs := req.Epochs
+		if epochs <= 0 {
+			epochs = 1
+		}
+		inst, err := d.register(req.Kind, req.Tag)
+		if err != nil {
+			return err
+		}
+		d.party.Do(func() {
+			var values []string
+			var attempts []int
+			b := beacon.New(rt, req.Tag, keys, beacon.Config{Coin: cfg, Epochs: epochs}, func(e beacon.Epoch) {
+				values = append(values, hex.EncodeToString(e.Value[:]))
+				attempts = append(attempts, e.Attempts)
+				if len(values) == epochs {
+					d.complete(inst, &Decision{
+						Kind: "beacon", Tag: req.Tag,
+						EpochValues: values, Attempts: attempts,
+					})
+				}
+			})
+			b.Start()
+		})
+
+	case "ledger":
+		return d.launchLedger(req, cfg)
+
+	default:
+		return fmt.Errorf("noded: unknown instance kind %q", req.Kind)
+	}
+	return nil
+}
+
+// ledgerLog folds the committed slot stream into a chained digest: equal
+// digests across processes certify an identical total order, not just an
+// identical tx set. Touched only from the dispatcher goroutine.
+type ledgerLog struct {
+	h     hash.Hash
+	txs   int
+	bytes int64
+}
+
+func newLedgerLog() *ledgerLog { return &ledgerLog{h: sha256.New()} }
+
+func (l *ledgerLog) absorb(slot int, entries []abc.Entry) {
+	var num [8]byte
+	binary.BigEndian.PutUint64(num[:], uint64(slot))
+	l.h.Write(num[:])
+	for _, e := range entries {
+		binary.BigEndian.PutUint64(num[:], uint64(e.Origin))
+		l.h.Write(num[:])
+		for _, tx := range e.Txs {
+			binary.BigEndian.PutUint64(num[:], uint64(len(tx)))
+			l.h.Write(num[:])
+			l.h.Write(tx)
+			l.txs++
+			l.bytes += int64(len(tx))
+		}
+	}
+}
+
+func (l *ledgerLog) digest() string { return hex.EncodeToString(l.h.Sum(nil)) }
+
+// launchLedger starts a streaming abc engine preloaded with this party's
+// transactions. The log stays open until a drain request (or shutdown)
+// calls RequestStop on every party; the decision carries the final slot
+// and the ordered-log digest.
+func (d *Daemon) launchLedger(req *Request, cfg coin.Config) error {
+	txCount, txBytes := req.TxCount, req.TxBytes
+	if txCount <= 0 {
+		txCount = defaultTxCount
+	}
+	if txBytes < 16 {
+		txBytes = defaultTxBytes
+	}
+	inst, err := d.register(req.Kind, req.Tag)
+	if err != nil {
+		return err
+	}
+	pool := abc.NewMempool(2*txCount*txBytes + 1024)
+	log := newLedgerLog()
+	rt, keys, tag := d.party.Node(), d.ring, req.Tag
+	ecfg := abc.EngineConfig{
+		Coin:        cfg,
+		BatchBytes:  req.BatchBytes,
+		MaxInFlight: req.MaxInFlight,
+	}
+	autoStop := req.AutoStop
+	self := d.self
+	d.party.Do(func() {
+		var eng *abc.Engine
+		eng = abc.NewEngine(rt, tag, keys, ecfg, pool,
+			func(slot int, entries []abc.Entry) { log.absorb(slot, entries) },
+			func(finalSlot int) {
+				d.complete(inst, &Decision{
+					Kind: "ledger", Tag: tag,
+					FinalSlot: finalSlot,
+					Value:     log.digest(),
+					Txs:       log.txs,
+					Bytes:     log.bytes,
+				})
+			})
+		// Registering eng under d.mu from the dispatcher is safe: drain
+		// and shutdown only read it back via party.Do, which serializes
+		// behind this task.
+		d.mu.Lock()
+		inst.eng = eng
+		d.mu.Unlock()
+		for k := 0; k < txCount; k++ {
+			tx := make([]byte, txBytes)
+			copy(tx, fmt.Sprintf("tx/%d/%d/", self, k))
+			if err := pool.Submit(context.Background(), tx); err != nil {
+				break // pool sized for the preload; only closure lands here
+			}
+		}
+		eng.Start()
+		if autoStop {
+			eng.RequestStop()
+		}
+	})
+	return nil
+}

@@ -1,0 +1,190 @@
+package nodenet
+
+// Multi-process integration tests: real noded binaries, real OS processes,
+// real TCP between them. Skipped under -short (they build the binary and
+// spawn a cluster per test).
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/noded"
+)
+
+var (
+	buildOnce sync.Once
+	builtBin  string
+	buildErr  error
+)
+
+// sharedBinary builds noded once for the whole test binary.
+func sharedBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "noded-bin-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtBin, buildErr = BuildNoded(dir)
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtBin
+}
+
+func launchCluster(t *testing.T, seed int64) *Cluster {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("multi-process cluster test; skipped under -short")
+	}
+	cl, err := Launch(Options{N: 4, F: -1, Seed: seed, BinPath: sharedBinary(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+// TestProcessClusterMatchesSim runs seed-pinned workloads across 4 noded
+// OS processes and checks each decision both for cross-process agreement
+// and for equality with the in-process simulator run from the same seed —
+// the headline acceptance check for the deployment runtime.
+func TestProcessClusterMatchesSim(t *testing.T) {
+	cl := launchCluster(t, 21)
+	for _, name := range []string{"election", "vba-pinned", "aba-unanimous"} {
+		w, err := WorkloadByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.Run(cl)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", name, err, cl.Logs())
+		}
+		if !res.Agreed || res.SimMatch == nil || !*res.SimMatch {
+			t.Fatalf("%s: agreed=%v simMatch=%v", name, res.Agreed, res.SimMatch)
+		}
+	}
+	if err := cl.Stop(60 * time.Second); err != nil {
+		t.Fatalf("graceful stop: %v\n%s", err, cl.Logs())
+	}
+}
+
+// TestProcessClusterSurvivesConnectionKill forces a mesh connection closed
+// while a multi-slot ledger is committing across 4 processes. The
+// seq/ack/resend layer must redial and resync so every process still
+// reports an identical ordered log with every transaction delivered
+// exactly once.
+func TestProcessClusterSurvivesConnectionKill(t *testing.T) {
+	cl := launchCluster(t, 22)
+	const tag = "wl/killtest"
+	if _, err := cl.CallAll(func(i int) *noded.Request {
+		return &noded.Request{
+			Op: noded.OpLaunch, Kind: "ledger", Tag: tag, Genesis: []byte("kill"),
+			TxCount: 48, TxBytes: 96,
+		}
+	}, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Kill a live inter-node connection mid-run, from both test interest
+	// directions: outbound of party 1 to party 2.
+	if err := cl.Sever(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CallAll(func(int) *noded.Request {
+		return &noded.Request{Op: noded.OpDrain, Tag: tag}
+	}, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	decs, err := cl.AwaitAll(tag)
+	if err != nil {
+		t.Fatalf("await after sever: %v\n%s", err, cl.Logs())
+	}
+	for i, d := range decs {
+		if d.Txs != 4*48 {
+			t.Fatalf("party %d delivered %d txs, want %d", i, d.Txs, 4*48)
+		}
+		if d.Value != decs[0].Value || d.FinalSlot != decs[0].FinalSlot {
+			t.Fatalf("party %d log diverged after reconnect: (%d, %s) vs (%d, %s)",
+				i, d.FinalSlot, d.Value, decs[0].FinalSlot, decs[0].Value)
+		}
+	}
+	// The severed link must have actually redialed.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stats, err := cl.StatsAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var redials int64
+		for _, s := range stats {
+			redials += s.Redials
+		}
+		if redials > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no redial recorded after severing a live connection")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := cl.Stop(60 * time.Second); err != nil {
+		t.Fatalf("graceful stop: %v\n%s", err, cl.Logs())
+	}
+}
+
+// TestProcessClusterSIGTERMDrainsAndExitsZero launches an open streaming
+// ledger on every process and tears the cluster down with SIGTERM alone:
+// each daemon must drain the ledger (RequestStop, all-stop slot commits
+// while peers are still up), flush, and exit 0.
+func TestProcessClusterSIGTERMDrainsAndExitsZero(t *testing.T) {
+	cl := launchCluster(t, 23)
+	const tag = "wl/sigterm"
+	if _, err := cl.CallAll(func(int) *noded.Request {
+		return &noded.Request{
+			Op: noded.OpLaunch, Kind: "ledger", Tag: tag, Genesis: []byte("term"),
+			TxCount: 8, TxBytes: 32,
+		}
+	}, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// No drain op: SIGTERM itself must close the log gracefully.
+	if err := cl.Stop(60 * time.Second); err != nil {
+		t.Fatalf("SIGTERM teardown: %v\n%s", err, cl.Logs())
+	}
+}
+
+// TestProcessClusterConfigsOnDisk sanity-checks the deployment artifacts:
+// configs are valid daemon inputs, private (0600), and carry the full
+// peer map.
+func TestProcessClusterConfigsOnDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes a real config set; skipped under -short")
+	}
+	dir := t.TempDir()
+	cfgs, err := WriteConfigs(dir, Options{N: 4, F: -1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		path := filepath.Join(dir, "party"+string(rune('0'+i))+".json")
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Mode().Perm() != 0o600 {
+			t.Fatalf("config %d has mode %v, want 0600 (it holds private keys)", i, st.Mode().Perm())
+		}
+		c, err := noded.LoadConfig(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Keys.Self != i || len(c.Peers) != 4 {
+			t.Fatalf("config %d decoded as self=%d peers=%d", i, c.Keys.Self, len(c.Peers))
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package pki
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/crypto/sig"
+)
+
+// TestKeyringConfigRoundTrip pins the deployment-config contract: a keyring
+// serialized through JSON and decoded in another process must be usable and
+// byte-identical in every key — the basis of sim ↔ multi-process decision
+// equivalence.
+func TestKeyringConfigRoundTrip(t *testing.T) {
+	const n = 4
+	rings, board, err := Setup(n, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ring := range rings {
+		raw, err := json.Marshal(ring.Config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cfg KeyringConfig
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := cfg.Keyring()
+		if err != nil {
+			t.Fatalf("party %d: %v", i, err)
+		}
+		if got.Self != i {
+			t.Fatalf("party %d decoded as %d", i, got.Self)
+		}
+		if !got.Sig.S.Equal(ring.Sig.S) || !got.VRF.S.Equal(ring.VRF.S) ||
+			!got.PVSSDec.D.Equal(ring.PVSSDec.D) || !got.PVSSSig.S.Equal(ring.PVSSSig.S) {
+			t.Fatalf("party %d private scalars differ after round trip", i)
+		}
+		for j := range board.Parties {
+			want, have := board.Parties[j], got.Board.Parties[j]
+			if !want.Sig.P.Equal(have.Sig.P) || !want.VRF.P.Equal(have.VRF.P) ||
+				!want.PVSSEnc.E.Equal(have.PVSSEnc.E) || !want.PVSSVK.Equal(have.PVSSVK) {
+				t.Fatalf("party %d board slot %d differs after round trip", i, j)
+			}
+		}
+		if got.Verifier == nil || got.Scripts == nil {
+			t.Fatalf("party %d decoded without fresh caches", i)
+		}
+		// Cross-check: a signature produced by the decoded key verifies
+		// under the original board and vice versa.
+		msg := []byte("round-trip")
+		if !sig.Verify(board.Parties[i].Sig, msg, got.Sig.Sign(msg)) {
+			t.Fatalf("party %d decoded signing key rejected by original board", i)
+		}
+		if !sig.Verify(got.Board.Parties[i].Sig, msg, ring.Sig.Sign(msg)) {
+			t.Fatalf("party %d original signing key rejected by decoded board", i)
+		}
+	}
+}
+
+// TestKeyringConfigRejectsTampering pins the board-integrity check: a
+// config whose identity or board was altered must not decode.
+func TestKeyringConfigRejectsTampering(t *testing.T) {
+	rings, _, err := Setup(4, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rings[1].Config()
+	c.Self = 2 // claim another party's slot with party 1's scalars
+	if _, err := c.Keyring(); err == nil {
+		t.Fatal("decoded a keyring whose scalars do not match its board slot")
+	}
+	c = rings[1].Config()
+	c.Self = 7
+	if _, err := c.Keyring(); err == nil {
+		t.Fatal("decoded an out-of-range self index")
+	}
+	c = rings[1].Config()
+	c.Board[1].Sig = c.Board[0].Sig // swap in someone else's key
+	if _, err := c.Keyring(); err == nil {
+		t.Fatal("decoded a tampered board")
+	}
+	c = rings[1].Config()
+	c.Sig = "zz" + c.Sig[2:]
+	if _, err := c.Keyring(); err == nil {
+		t.Fatal("decoded a malformed scalar")
+	}
+}

@@ -239,9 +239,16 @@ func (c *Cluster) Close() {
 // sum back to this total.
 func (c *Cluster) Stats() Stats {
 	t := c.hc.TotalTally()
+	tcp := c.hc.TCPStats()
 	return Stats{
 		Messages: t.Msgs, Bytes: t.Bytes, Rounds: 0,
 		Verifies: c.hc.Verifies(), ScriptVerifies: c.hc.ScriptVerifies(),
+		Transport: TransportStats{
+			Frames: tcp.Frames, Syscalls: tcp.Syscalls, Dropped: tcp.Dropped,
+			Resends: tcp.Resends, Redials: tcp.Redials, BackoffResets: tcp.BackoffResets,
+			AuthRejects: tcp.AuthRejects, Dups: tcp.Dups,
+			WANDelays: tcp.WANDelays, WANLosses: tcp.WANLosses,
+		},
 	}
 }
 
@@ -299,6 +306,28 @@ type Stats struct {
 	// cached-basis decodes) performed by the cluster's AVID broadcasts.
 	// Cluster-cumulative, like Verifies.
 	RSOps int64
+	// Transport carries the live TCP transport's framing, reconnect, and
+	// WAN-emulation counters. All zero on the simulator and channels
+	// runtimes; cluster-cumulative on TCP.
+	Transport TransportStats
+}
+
+// TransportStats mirrors the TCP mesh counters (livenet.TCPStats) into the
+// public stats surface: wire framing, reconnect/resync behaviour, handshake
+// authentication, and userspace WAN emulation.
+type TransportStats struct {
+	Frames   int64 // data frames accepted for sending (excludes resends)
+	Syscalls int64 // data-path socket writes (coalesced flushes)
+	Dropped  int64 // frames dropped to outbox overflow
+
+	Resends       int64 // frames rewritten during reconnect resyncs
+	Redials       int64 // connections re-established after the first
+	BackoffResets int64 // exponential backoff returns to minimum
+	AuthRejects   int64 // inbound handshakes rejected
+	Dups          int64 // duplicate inbound frames dropped by seq dedup
+
+	WANDelays int64 // inbound frames held by WAN emulation
+	WANLosses int64 // loss→retransmit latency events injected
 }
 
 func stats(s exp.Stats) Stats {

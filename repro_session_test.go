@@ -315,3 +315,43 @@ func TestSessionClusterReuseAcrossWaits(t *testing.T) {
 		t.Fatalf("leaders = %v", leaders)
 	}
 }
+
+// TestSessionTCPEquivalenceAndTransportStats: the same session program on
+// the real-TCP runtime produces the validity-pinned decisions, and the
+// public Stats surface exposes the transport counters (frames flowed,
+// nothing dropped) that are zero on the other runtimes.
+func TestSessionTCPEquivalenceAndTransportStats(t *testing.T) {
+	want := sessionDecisions{bit0: 0, bit1: 1, value: "tx:shared-batch"}
+	if got := runSessionProgram(t, RuntimeLiveTCP); got != want {
+		t.Fatalf("TCP decisions %+v, want %+v", got, want)
+	}
+
+	c, err := NewCluster(4, WithRuntime(RuntimeLiveTCP), WithSeed(78), WithGenesisNonce([]byte("tcpstats")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h, err := c.DecideBit("aba", []byte{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tr := c.Stats().Transport
+	if tr.Frames == 0 || tr.Syscalls == 0 {
+		t.Fatalf("TCP transport counters missing from Stats: %+v", tr)
+	}
+	if tr.Dropped != 0 || tr.AuthRejects != 0 {
+		t.Fatalf("healthy TCP cluster booked faults: %+v", tr)
+	}
+
+	sim, err := NewCluster(4, WithSeed(78), WithGenesisNonce([]byte("tcpstats")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if tr := sim.Stats().Transport; tr != (TransportStats{}) {
+		t.Fatalf("simulator reported transport counters: %+v", tr)
+	}
+}
