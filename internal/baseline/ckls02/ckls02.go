@@ -23,6 +23,7 @@ import (
 	"repro/internal/core/avss"
 	"repro/internal/core/rbc"
 	"repro/internal/crypto/field"
+	"repro/internal/order"
 	"repro/internal/pki"
 	"repro/internal/proto"
 	"repro/internal/wire"
@@ -203,7 +204,7 @@ func (c *Coin) maybeOutput() {
 		return
 	}
 	sum := field.Zero()
-	for k := range c.core {
+	for _, k := range order.SortedKeys(c.core) {
 		if !c.recDone[k] {
 			return
 		}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/crypto/field"
 	"repro/internal/crypto/pairing"
 	"repro/internal/crypto/poly"
+	"repro/internal/order"
 	"repro/internal/pki"
 	"repro/internal/proto"
 	"repro/internal/wire"
@@ -192,11 +193,14 @@ func (c *Coin) Handle(from int, body []byte) {
 	if len(c.shares) < c.f+1 {
 		return
 	}
+	// Interpolate from the f+1 lowest party indices: map-order selection
+	// would pick a different share subset on every replay of the same seed
+	// (the pvss.AggShares bug class, PR 4).
 	xs := make([]field.Scalar, 0, c.f+1)
 	vals := make([]pairing.G2, 0, c.f+1)
-	for i, s := range c.shares {
+	for _, i := range order.SortedKeys(c.shares) {
 		xs = append(xs, poly.X(i))
-		vals = append(vals, s)
+		vals = append(vals, c.shares[i])
 		if len(xs) == c.f+1 {
 			break
 		}

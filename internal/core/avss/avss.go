@@ -21,6 +21,7 @@ import (
 	"repro/internal/crypto/pedersen"
 	"repro/internal/crypto/poly"
 	"repro/internal/crypto/sig"
+	"repro/internal/order"
 	"repro/internal/pki"
 	"repro/internal/proto"
 	"repro/internal/wire"
@@ -442,9 +443,11 @@ func (a *AVSS) onKeyRec(from int, rd *wire.Reader) {
 	}
 	a.phi[from] = poly.Share{Index: from, Value: shA}
 	if len(a.phi) == a.rt.F()+1 && !a.keySent {
+		// Sorted party order: interpolation is subset-exact either way, but
+		// map-order assembly would make replays of the same seed diverge.
 		shares := make([]poly.Share, 0, len(a.phi))
-		for _, sh := range a.phi {
-			shares = append(shares, sh)
+		for _, j := range order.SortedKeys(a.phi) {
+			shares = append(shares, a.phi[j])
 		}
 		key, err := poly.InterpolateSecret(shares)
 		if err != nil {

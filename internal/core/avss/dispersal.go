@@ -7,6 +7,7 @@ import (
 	"repro/internal/crypto/field"
 	"repro/internal/crypto/pedersen"
 	"repro/internal/crypto/poly"
+	"repro/internal/order"
 	"repro/internal/pki"
 	"repro/internal/proto"
 	"repro/internal/wire"
@@ -164,8 +165,11 @@ func (d *DispersalAVSS) maybeEmitRec() {
 // recoveredKey exposes the f+1-agreed decryption key to the dispersal
 // wrapper.
 func (a *AVSS) recoveredKey() (field.Scalar, bool) {
-	for k, set := range a.keyVotes {
-		if len(set) >= a.rt.F()+1 {
+	// Sorted key order: under a Byzantine dealer two candidate keys could
+	// reach f+1 votes in the same step, and a map-order pick would then
+	// differ across replays of the same seed.
+	for _, k := range order.SortedKeys(a.keyVotes) {
+		if len(a.keyVotes[k]) >= a.rt.F()+1 {
 			return a.keyVals[k], true
 		}
 	}

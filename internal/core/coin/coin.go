@@ -28,6 +28,7 @@ import (
 	"repro/internal/core/seeding"
 	"repro/internal/core/wcs"
 	"repro/internal/crypto/vrf"
+	"repro/internal/order"
 	"repro/internal/pki"
 	"repro/internal/proto"
 	"repro/internal/wire"
@@ -418,8 +419,12 @@ func (c *Coin) maybeOutput() {
 		return
 	}
 	c.done = true
+	// Max by value, scanned in sorted party order: VRF outputs are unequal
+	// with overwhelming probability, but on a tie the winner must not be a
+	// map-iteration accident (lowest party index wins).
 	var best *Candidate
-	for _, cand := range c.candidates {
+	for _, j := range order.SortedKeys(c.candidates) {
+		cand := c.candidates[j]
 		if best == nil || best.Value.Less(cand.Value) {
 			best = cand
 		}

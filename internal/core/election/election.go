@@ -21,6 +21,7 @@ import (
 	"repro/internal/core/rbc"
 	"repro/internal/core/seeding"
 	"repro/internal/crypto/vrf"
+	"repro/internal/order"
 	"repro/internal/pki"
 	"repro/internal/proto"
 	"repro/internal/wire"
@@ -255,14 +256,20 @@ func (e *Election) winnerIn(g map[int]*entry, bots int) *entry {
 		}
 		gr.count++
 	}
-	for v, gr := range groups {
-		for w, other := range groups {
+	// Sorted value order end to end: the winner condition holds for at most
+	// one group, but scanning a map would still let replays of the same
+	// seed walk candidates in different orders.
+	vals := order.SortedKeysFunc(groups, func(a, b vrf.Output) bool { return a.Less(b) })
+	for _, v := range vals {
+		gr := groups[v]
+		for _, w := range vals {
 			if w.Less(v) {
-				gr.smaller += other.count
+				gr.smaller += groups[w].count
 			}
 		}
 	}
-	for _, gr := range groups {
+	for _, v := range vals {
+		gr := groups[v]
 		m := gr.count
 		if m > q {
 			m = q

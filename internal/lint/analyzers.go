@@ -1,0 +1,22 @@
+package lint
+
+// All returns every reprolint analyzer, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		DroppedErr,
+		WallClock,
+		WireBounds,
+		LockedSend,
+	}
+}
+
+// ByName resolves one analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each fixture claims an import path inside the analyzer's scope; the want
+// comments in testdata/src/<name> pin both the positives and the allowed
+// idioms. These are the CI seeded-regression gates: if an analyzer stops
+// firing on a known-bad shape, the unclaimed want fails the suite.
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "repro/internal/core/fixture", "testdata/src/maporder")
+}
+
+func TestDroppedErr(t *testing.T) {
+	linttest.Run(t, lint.DroppedErr, "repro/internal/livenet/fixture", "testdata/src/droppederr")
+}
+
+func TestWallClock(t *testing.T) {
+	linttest.Run(t, lint.WallClock, "repro/internal/sim/fixture", "testdata/src/wallclock")
+}
+
+func TestWireBounds(t *testing.T) {
+	linttest.Run(t, lint.WireBounds, "repro/internal/core/fixture", "testdata/src/wirebounds")
+}
+
+func TestLockedSend(t *testing.T) {
+	linttest.Run(t, lint.LockedSend, "repro/internal/core/fixture", "testdata/src/lockedsend")
+}
+
+// TestHistoricalBugsCaught proves reprolint would have flagged each of the
+// repo's documented historical bugs, reconstructed verbatim-in-shape in
+// dedicated fixture files: Coin.OnSeed's map-order replay (PR 3),
+// pvss.AggShares' map-order share selection (PR 4), and livenet's
+// swallowed conn.Write (PR 5).
+func TestHistoricalBugsCaught(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer *lint.Analyzer
+		path     string
+		dir      string
+		file     string
+	}{
+		{"onseed-map-order-replay", lint.MapOrder, "repro/internal/core/fixture", "testdata/src/maporder", "onseed.go"},
+		{"aggshares-map-order-selection", lint.MapOrder, "repro/internal/core/fixture", "testdata/src/maporder", "aggshares.go"},
+		{"swallowed-conn-write", lint.DroppedErr, "repro/internal/livenet/fixture", "testdata/src/droppederr", "swallowedwrite.go"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := linttest.Analyze(t, tc.analyzer, tc.path, tc.dir)
+			if hits := linttest.FindingsIn(diags, tc.file); len(hits) == 0 {
+				t.Fatalf("analyzer %s reported nothing in %s; the historical bug would slip through",
+					tc.analyzer.Name, tc.file)
+			}
+		})
+	}
+}
+
+// TestScope checks that an analyzer stays silent on packages outside its
+// scope: the same known-bad wallclock fixture claimed under an
+// out-of-scope import path must produce no findings.
+func TestScope(t *testing.T) {
+	diags := linttest.Analyze(t, lint.WallClock, "repro/internal/nodenet/fixture", "testdata/src/wallclock")
+	if len(diags) != 0 {
+		t.Fatalf("wallclock fired outside its scope:\n%s", linttest.String(diags))
+	}
+}
+
+func TestSuppressions(t *testing.T) {
+	diags := linttest.Analyze(t, lint.WallClock, "repro/internal/sim/fixture", "testdata/src/suppress")
+
+	var suppressed, live, meta []lint.Diagnostic
+	for _, d := range diags {
+		switch {
+		case d.Suppressed:
+			suppressed = append(suppressed, d)
+		case d.Analyzer == "reprolint":
+			meta = append(meta, d)
+		default:
+			live = append(live, d)
+		}
+	}
+
+	// justified(): the time.Now finding is silenced and carries the reason.
+	if len(suppressed) != 1 || !strings.Contains(suppressed[0].Reason, "justified-suppression path") {
+		t.Fatalf("want exactly 1 justified suppression, got:\n%s", linttest.String(diags))
+	}
+	// reasonless(): the finding stays live.
+	if len(live) != 1 || !strings.Contains(live[0].Message, "time.Now") {
+		t.Fatalf("reasonless suppression must not silence the finding, got live:\n%s", linttest.String(live))
+	}
+	// Meta-findings: one malformed (no reason), one stale (matches nothing).
+	var malformed, stale int
+	for _, d := range meta {
+		switch {
+		case strings.Contains(d.Message, "must name an analyzer and give a reason"):
+			malformed++
+		case strings.Contains(d.Message, "matches no finding"):
+			stale++
+		}
+	}
+	if malformed != 1 || stale != 1 {
+		t.Fatalf("want 1 malformed + 1 stale meta-finding, got %d + %d:\n%s", malformed, stale, linttest.String(meta))
+	}
+}

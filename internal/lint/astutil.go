@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// render prints an expression for diagnostics.
+func render(e ast.Expr) string { return types.ExprString(e) }
+
+// uses reports whether expr (or any subexpression) denotes one of the given
+// objects.
+func uses(info *types.Info, expr ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o := info.ObjectOf(id); o != nil && objs[o] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// objectsOf collects the objects declared by the given identifiers
+// (blank identifiers contribute nothing).
+func objectsOf(info *types.Info, idents ...ast.Expr) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	for _, e := range idents {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if o := info.ObjectOf(id); o != nil {
+			objs[o] = true
+		}
+	}
+	return objs
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// namedOrPtrString renders a type with one pointer level stripped, e.g.
+// "*bufio.Writer" -> "bufio.Writer".
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// typeIs reports whether t (or *t) prints exactly as full.
+func typeIs(t types.Type, full string) bool {
+	if t == nil {
+		return false
+	}
+	return types.TypeString(t, nil) == full || types.TypeString(deref(t), nil) == full
+}
+
+// hasMethod reports whether t or *t has a method (or interface member)
+// called name.
+func hasMethod(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return hasMethod(types.NewPointer(t), name)
+	}
+	return false
+}
+
+// ioWriterType is a synthetic interface{ Write([]byte) (int, error) } used
+// for implements-io.Writer checks without importing io's types.
+var ioWriterType = func() *types.Interface {
+	bytesT := types.NewSlice(types.Typ[types.Byte])
+	params := types.NewTuple(types.NewVar(0, nil, "p", bytesT))
+	results := types.NewTuple(
+		types.NewVar(0, nil, "n", types.Typ[types.Int]),
+		types.NewVar(0, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	fn := types.NewFunc(0, nil, "Write", sig)
+	iface := types.NewInterfaceType([]*types.Func{fn}, nil)
+	iface.Complete()
+	return iface
+}()
+
+// implementsWriter reports whether t or *t implements io.Writer.
+func implementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, ioWriterType) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return types.Implements(types.NewPointer(t), ioWriterType)
+	}
+	return false
+}
+
+// pkgFuncCall resolves a call of the form pkgname.Func(...) where pkgname
+// is an imported package, returning the package path and function name.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	pn, isPkg := info.ObjectOf(id).(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// methodCall splits a call of the form recv.M(...), returning the receiver
+// expression and method name. Package-qualified calls return ok=false.
+func methodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	if id, isID := sel.X.(*ast.Ident); isID {
+		if _, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+			return nil, "", false
+		}
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// funcBodies yields every function body in the file along with its
+// enclosing declaration node (FuncDecl or FuncLit).
+func funcBodies(f *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Body)
+			}
+		case *ast.FuncLit:
+			if d.Body != nil {
+				fn(d.Body)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags discarded error results from network-facing writes and
+// flushes in the deployment packages: a bare `conn.Write(b)` statement, a
+// `_, _ = conn.Write(b)` assignment, or a discarded `bw.Flush()`. A TCP
+// write that fails silently strands the peer without a frame and without a
+// counter — the bug class behind PR 5's livenet fix, where write errors now
+// feed per-peer drop counters and a once-per-connection log line. Handle
+// the error (count it, log it once, tear the connection down) or justify
+// the discard with //reprolint:ok.
+//
+// A call is considered network-facing when its receiver is a net.Conn
+// (anything implementing io.Writer with deadline/remote-addr methods), a
+// *bufio.Writer, or when it is fmt.Fprint* writing to such a value.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "network write/flush error silently discarded",
+	AppliesTo: ScopeUnder(
+		"repro/internal/livenet",
+		"repro/internal/noded",
+		"repro/internal/nodenet",
+	),
+	Run: runDroppedErr,
+}
+
+// writeMethods are the error-returning write-path methods we track.
+var writeMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Flush":       true,
+	"ReadFrom":    true,
+}
+
+func runDroppedErr(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if desc := networkWrite(info, call); desc != "" {
+						pass.Reportf(call.Pos(), "%s error discarded; count it, log it once, or justify with //reprolint:ok", desc)
+					}
+				}
+				return false
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 {
+					return true
+				}
+				call, ok := s.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !errorResultBlanked(info, s, call) {
+					return true
+				}
+				if desc := networkWrite(info, call); desc != "" {
+					pass.Reportf(call.Pos(), "%s error assigned to _; count it, log it once, or justify with //reprolint:ok", desc)
+				}
+				return false
+			case *ast.GoStmt:
+				if desc := networkWrite(info, s.Call); desc != "" {
+					pass.Reportf(s.Call.Pos(), "%s launched as a goroutine discards its error", desc)
+				}
+			case *ast.DeferStmt:
+				if desc := networkWrite(info, s.Call); desc != "" {
+					pass.Reportf(s.Call.Pos(), "deferred %s discards its error; flush explicitly on the success path", desc)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// errorResultBlanked reports whether the call's error result position(s)
+// land on the blank identifier in this assignment.
+func errorResultBlanked(info *types.Info, s *ast.AssignStmt, call *ast.CallExpr) bool {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() != len(s.Lhs) {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < res.Len(); i++ {
+		if !types.Identical(res.At(i).Type(), errType) {
+			continue
+		}
+		id, isID := s.Lhs[i].(*ast.Ident)
+		if isID && id.Name == "_" {
+			return true
+		}
+	}
+	return false
+}
+
+// networkWrite describes the call when it is a network-facing write or
+// flush whose last result is an error, else "".
+func networkWrite(info *types.Info, call *ast.CallExpr) string {
+	// fmt.Fprint* to a network writer.
+	if path, name, ok := pkgFuncCall(info, call); ok {
+		if path == "fmt" && (name == "Fprint" || name == "Fprintf" || name == "Fprintln") && len(call.Args) > 0 {
+			if t := info.TypeOf(call.Args[0]); isNetworkWriterType(t) {
+				return "fmt." + name + " to " + types.TypeString(t, nil)
+			}
+		}
+		return ""
+	}
+	recv, name, ok := methodCall(info, call)
+	if !ok || !writeMethods[name] {
+		return ""
+	}
+	t := info.TypeOf(recv)
+	if !isNetworkWriterType(t) {
+		return ""
+	}
+	// Only calls that actually return an error count.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return ""
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if !types.Identical(sig.Results().At(sig.Results().Len()-1).Type(), errType) {
+		return ""
+	}
+	return types.TypeString(t, nil) + "." + name
+}
+
+// isNetworkWriterType reports whether t is a *bufio.Writer, a net.Conn, or
+// a conn-shaped writer (implements io.Writer and carries net.Conn's
+// deadline methods — covers wrappers like countingConn).
+func isNetworkWriterType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if typeIs(t, "bufio.Writer") || typeIs(t, "net.Conn") {
+		return true
+	}
+	return implementsWriter(t) && hasMethod(t, "SetWriteDeadline") && hasMethod(t, "RemoteAddr")
+}

@@ -1,0 +1,155 @@
+// Package lint is the repo's custom static-analysis suite ("reprolint"): a
+// small go/analysis-style framework plus five analyzers that mechanically
+// ban this codebase's recurring bug classes — map-iteration nondeterminism
+// in protocol state machines, silently dropped network-write errors,
+// wall-clock/global-randomness leaks into the deterministic packages,
+// unvalidated wire-decoded lengths, and channel operations performed while
+// holding a mutex.
+//
+// The framework is standard-library only (go/ast + go/types): packages are
+// located and their dependencies' export data produced by `go list -export
+// -deps -json`, then each target package is parsed and type-checked from
+// source. cmd/reprolint compiles the analyzers into a multichecker that CI
+// runs over ./... next to go vet and staticcheck.
+//
+// A finding is silenced only by a justified suppression comment on the
+// flagged line or the line immediately above:
+//
+//	//reprolint:ok <analyzer> <reason>
+//
+// A suppression with no reason, or one that matches no finding, is itself
+// reported. The determinism contract the analyzers encode is documented in
+// README.md ("Static analysis").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in output and in
+	// //reprolint:ok suppressions.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// AppliesTo reports whether the analyzer runs on the package with the
+	// given import path. nil means every package.
+	AppliesTo func(path string) bool
+
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool   // justified //reprolint:ok matched this finding
+	Reason     string // the suppression's reason, when Suppressed
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies every applicable analyzer to every package, resolves
+// suppressions, and returns all diagnostics (suppressed ones included,
+// marked) sorted by position. Meta-findings — suppressions lacking a
+// reason, suppressions matching nothing — are reported under the
+// "reprolint" pseudo-analyzer and cannot themselves be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		sups := scanSuppressions(pkg)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			diags = append(diags, pass.diags...)
+		}
+		all = append(all, applySuppressions(pkg, diags, sups)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all
+}
+
+// Unsuppressed filters diags down to the findings that gate CI.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// pathHasPrefix reports whether path is pkg or lies under pkg/.
+func pathHasPrefix(path, pkg string) bool {
+	return path == pkg || strings.HasPrefix(path, pkg+"/")
+}
+
+// ScopeUnder builds an AppliesTo predicate matching any of the given import
+// paths or their subtrees.
+func ScopeUnder(prefixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, p := range prefixes {
+			if pathHasPrefix(path, p) {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,179 @@
+// Package linttest is the fixture harness for the reprolint analyzers: it
+// type-checks a testdata package under a claimed in-scope import path, runs
+// one analyzer over it, and matches the resulting diagnostics against
+// `// want "regexp"` comments in the fixture source (the analysistest
+// convention, reimplemented on the stdlib-only lint framework).
+//
+// Every unsuppressed diagnostic must be claimed by a want comment on its
+// line, and every want comment must be claimed by a diagnostic — so a
+// fixture is simultaneously a regression test that the analyzer still fires
+// on known-bad code and a false-positive test that it stays quiet on the
+// allowed idioms written next to it.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Analyze type-checks the fixture directory as a package claiming
+// importPath (fixtures use the claim to place themselves inside an
+// analyzer's scope) and returns every diagnostic, suppressed ones included.
+func Analyze(t *testing.T, a *lint.Analyzer, importPath, dir string) []lint.Diagnostic {
+	t.Helper()
+	loader := lint.NewLoader(moduleRoot(t))
+	pkg, err := loader.CheckSource(importPath, fixtureFiles(t, dir))
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+}
+
+// Run analyzes the fixture and enforces an exact match between the
+// unsuppressed diagnostics and the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, importPath, dir string) {
+	t.Helper()
+	diags := lint.Unsuppressed(Analyze(t, a, importPath, dir))
+	wants := scanWants(t, fixtureFiles(t, dir))
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.claimed {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re.String())
+		}
+	}
+}
+
+// want is one expectation parsed from a `// want "re"` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	claimed bool
+}
+
+// wantMarker introduces expectations; everything after it is a sequence of
+// quoted regexps (backquoted or double-quoted), one per expected
+// diagnostic on that line.
+const wantMarker = "// want "
+
+var quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// scanWants extracts every want expectation from the fixture sources.
+func scanWants(t *testing.T, files []string) []*want {
+	t.Helper()
+	var wants []*want
+	for _, fn := range files {
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			_, rest, ok := strings.Cut(line, wantMarker)
+			if !ok {
+				continue
+			}
+			quoted := quotedRE.FindAllString(rest, -1)
+			if len(quoted) == 0 {
+				t.Fatalf(`%s:%d: want comment without a quoted regexp`, fn, i+1)
+			}
+			for _, q := range quoted {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: unquoting %s: %v", fn, i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: compiling want %q: %v", fn, i+1, pat, err)
+				}
+				wants = append(wants, &want{file: fn, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unclaimed want on d's line whose regexp matches.
+func claim(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.claimed && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+// fixtureFiles lists the .go files of one fixture directory, sorted.
+func fixtureFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("fixture dir %s has no .go files", dir)
+	}
+	return files
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod —
+// the directory the loader's go-list invocations must run in.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// FindingsIn filters diags down to unsuppressed findings whose filename has
+// base name file — used to assert that a specific historical-bug fixture
+// file actually fires.
+func FindingsIn(diags []lint.Diagnostic, file string) []lint.Diagnostic {
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed && filepath.Base(d.Pos.Filename) == file {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders diagnostics one per line (test-failure output).
+func String(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed, type-checked package under analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Fset  *token.FileSet
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Loader locates packages with the go command and type-checks the requested
+// ones from source, resolving every import (std and module-internal alike)
+// through compiler export data produced by `go list -export`. It needs no
+// network and no dependencies beyond the standard library.
+type Loader struct {
+	// ModDir is the module root the go command runs in ("" = cwd).
+	ModDir string
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// NewLoader returns a loader rooted at modDir.
+func NewLoader(modDir string) *Loader {
+	l := &Loader{ModDir: modDir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return l
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load lists patterns (plus their full dependency closure, to harvest
+// export data) and type-checks every non-dependency match from source.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	roots, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, p := range roots {
+		pkg, err := l.check(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Import exposes the loader's export-data importer — linttest uses it to
+// resolve a fixture's imports against real packages.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.exports[path]; !ok {
+		// Not harvested yet: list it (with deps) to fill the export map.
+		if _, err := l.list([]string{path}); err != nil {
+			return nil, err
+		}
+	}
+	return l.imp.Import(path)
+}
+
+func (l *Loader) list(patterns []string) ([]*listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var roots []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			roots = append(roots, &q)
+		}
+	}
+	return roots, nil
+}
+
+func (l *Loader) check(p *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, gf := range p.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(p.Dir, gf), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := l.checkFiles(p.ImportPath, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:  p.ImportPath,
+		Dir:   p.Dir,
+		Files: files,
+		Fset:  l.fset,
+		Types: pkg,
+		Info:  info,
+	}, nil
+}
+
+// checkFiles type-checks a set of parsed files as one package. path is the
+// import path the package claims — fixtures use this to place themselves
+// inside an analyzer's scope.
+func (l *Loader) checkFiles(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return pkg, info, nil
+}
+
+// CheckSource type-checks in-memory or on-disk fixture files as a package
+// claiming the given import path. Imports resolve through the loader's
+// export map, so fixtures may import both std and repro packages.
+func (l *Loader) CheckSource(path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	// Harvest export data for every import up front (one go list call per
+	// missing path; in practice fixtures import a handful).
+	for _, f := range files {
+		for _, im := range f.Imports {
+			ip := strings.Trim(im.Path.Value, `"`)
+			if _, ok := l.exports[ip]; !ok {
+				if _, err := l.list([]string{ip}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	pkg, info, err := l.checkFiles(path, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Files: files, Fset: l.fset, Types: pkg, Info: info}, nil
+}

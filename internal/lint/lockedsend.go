@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockedSend flags channel sends, channel receives, and WaitGroup.Wait
+// calls made while a sync.Mutex/RWMutex is held. A blocked channel
+// operation under a lock wedges every other goroutine that needs the lock
+// — the deadlock family behind PR 6's wedged-drain fix, where a ledger
+// pump parked on a full stream channel while holding the state lock.
+// Stage the value under the lock, release, then send; or use a select with
+// a default (non-blocking sends are not flagged); or justify with
+// //reprolint:ok when the channel is provably buffered-and-drained.
+//
+// The analysis is lexical within one function: a mutex counts as held from
+// x.Lock()/x.RLock() until x.Unlock()/x.RUnlock() in the same statement
+// list, and for the rest of the function after `defer x.Unlock()`.
+// Function literals start with no locks held (they run later); sync.Cond
+// waits are not flagged (Wait releases the lock).
+var LockedSend = &Analyzer{
+	Name: "lockedsend",
+	Doc:  "blocking channel operation while holding a mutex",
+	Run:  runLockedSend,
+}
+
+func runLockedSend(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					checkLockedSend(pass, d.Body.List, map[string]bool{})
+				}
+				return false // checkLockedSend descends (incl. nested FuncLits)
+			}
+			return true
+		})
+	}
+}
+
+// mutexRecv returns the held-set key for x in x.Lock() when x is a
+// sync.Mutex / sync.RWMutex (or a pointer / addressable field of one).
+func mutexRecv(info *types.Info, recv ast.Expr) (string, bool) {
+	t := info.TypeOf(recv)
+	if t == nil {
+		return "", false
+	}
+	s := types.TypeString(deref(t), nil)
+	if s != "sync.Mutex" && s != "sync.RWMutex" {
+		return "", false
+	}
+	return render(recv), true
+}
+
+// condRecv reports whether x in x.Wait() is a *sync.Cond (exempt: Wait
+// releases the lock while parked).
+func isCondOrCounter(info *types.Info, recv ast.Expr, name string) (flag string) {
+	t := info.TypeOf(recv)
+	if t == nil {
+		return ""
+	}
+	s := types.TypeString(deref(t), nil)
+	if name == "Wait" && s == "sync.WaitGroup" {
+		return "sync.WaitGroup.Wait"
+	}
+	return ""
+}
+
+// checkLockedSend walks stmts with the given held-lock set.
+func checkLockedSend(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+	info := pass.Pkg.Info
+	heldAny := func() string {
+		var ks []string
+		for k := range held {
+			ks = append(ks, k)
+		}
+		if len(ks) == 0 {
+			return ""
+		}
+		// Deterministic message regardless of map order.
+		min := ks[0]
+		for _, k := range ks[1:] {
+			if k < min {
+				min = k
+			}
+		}
+		return min
+	}
+
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				lockedSendCall(pass, call, held, heldAny)
+			}
+			checkLockedExpr(pass, s.X, held, heldAny)
+		case *ast.SendStmt:
+			if m := heldAny(); m != "" {
+				pass.Reportf(s.Arrow, "channel send while holding %s; stage under the lock, send after unlocking", m)
+			}
+		case *ast.AssignStmt:
+			for _, e := range append(append([]ast.Expr{}, s.Rhs...), s.Lhs...) {
+				checkLockedExpr(pass, e, held, heldAny)
+			}
+			for _, rhs := range s.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					lockedSendCall(pass, call, held, heldAny)
+				}
+			}
+		case *ast.DeferStmt:
+			// `defer x.Unlock()` pairs with a Lock above: the mutex stays
+			// held for the remainder of the function.
+			if recv, name, ok := methodCall(info, s.Call); ok {
+				if key, isMu := mutexRecv(info, recv); isMu && (name == "Unlock" || name == "RUnlock") {
+					held[key] = true
+				}
+			}
+			checkLockedExpr(pass, s.Call, held, heldAny)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				checkLockedSend(pass, []ast.Stmt{s.Init}, held)
+			}
+			checkLockedExpr(pass, s.Cond, held, heldAny)
+			checkLockedSend(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					checkLockedSend(pass, e.List, copyHeld(held))
+				case *ast.IfStmt:
+					checkLockedSend(pass, []ast.Stmt{e}, copyHeld(held))
+				}
+			}
+		case *ast.ForStmt:
+			checkLockedSend(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			checkLockedSend(pass, s.Body.List, copyHeld(held))
+		case *ast.BlockStmt:
+			checkLockedSend(pass, s.List, held)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockedSend(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockedSend(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			for _, c := range s.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				// With a default the comm ops are non-blocking; without
+				// one, a send/receive case parks while holding the lock.
+				if cc.Comm != nil && !hasDefault {
+					if m := heldAny(); m != "" {
+						pass.Reportf(cc.Comm.Pos(), "blocking select case while holding %s; add a default or unlock first", m)
+					}
+				}
+				checkLockedSend(pass, cc.Body, copyHeld(held))
+			}
+		case *ast.GoStmt:
+			// The goroutine runs without our locks; its body is checked
+			// fresh (FuncLit handling below via checkLockedExpr).
+			checkLockedExpr(pass, s.Call, held, heldAny)
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				checkLockedExpr(pass, r, held, heldAny)
+			}
+		case *ast.DeclStmt, *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.LabeledStmt:
+			if ls, ok := st.(*ast.LabeledStmt); ok {
+				checkLockedSend(pass, []ast.Stmt{ls.Stmt}, held)
+			}
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// lockedSendCall updates the held set for Lock/Unlock calls and flags
+// blocking calls made under a lock.
+func lockedSendCall(pass *Pass, call *ast.CallExpr, held map[string]bool, heldAny func() string) {
+	info := pass.Pkg.Info
+	recv, name, ok := methodCall(info, call)
+	if !ok {
+		return
+	}
+	if key, isMu := mutexRecv(info, recv); isMu {
+		switch name {
+		case "Lock", "RLock":
+			held[key] = true
+		case "Unlock", "RUnlock":
+			delete(held, key)
+		}
+		return
+	}
+	if flag := isCondOrCounter(info, recv, name); flag != "" {
+		if m := heldAny(); m != "" {
+			pass.Reportf(call.Pos(), "%s while holding %s; wait after unlocking", flag, m)
+		}
+	}
+}
+
+// checkLockedExpr flags receive expressions under a lock and recurses into
+// function literals with a fresh held set.
+func checkLockedExpr(pass *Pass, e ast.Expr, held map[string]bool, heldAny func() string) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			checkLockedSend(pass, x.Body.List, map[string]bool{})
+			return false
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				if m := heldAny(); m != "" {
+					pass.Reportf(x.OpPos, "channel receive while holding %s; receive after unlocking", m)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// suppression is one parsed //reprolint:ok comment.
+type suppression struct {
+	file     string
+	line     int    // line the comment sits on
+	analyzer string // analyzer name it targets
+	reason   string // justification text ("" = invalid)
+	used     bool
+}
+
+// suppressPrefix introduces a justified suppression:
+//
+//	//reprolint:ok <analyzer> <reason>
+//
+// placed on the flagged line or the line immediately above it.
+const suppressPrefix = "//reprolint:ok"
+
+// scanSuppressions collects every //reprolint:ok comment in the package.
+func scanSuppressions(pkg *Package) []*suppression {
+	var sups []*suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, suppressPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //reprolint:okay — not ours
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				s := &suppression{file: pos.Filename, line: pos.Line}
+				if len(fields) > 0 {
+					s.analyzer = fields[0]
+					s.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				sups = append(sups, s)
+			}
+		}
+	}
+	return sups
+}
+
+// applySuppressions marks findings covered by a justified suppression and
+// appends meta-findings for malformed or unused suppressions. A
+// suppression covers findings of its analyzer on its own line or the line
+// directly below (the comment-above idiom).
+func applySuppressions(pkg *Package, diags []Diagnostic, sups []*suppression) []Diagnostic {
+	for i := range diags {
+		d := &diags[i]
+		for _, s := range sups {
+			if s.analyzer != d.Analyzer || s.file != d.Pos.Filename {
+				continue
+			}
+			if s.line != d.Pos.Line && s.line != d.Pos.Line-1 {
+				continue
+			}
+			if s.reason == "" {
+				s.used = true // matched, but invalid: reported below, finding stays live
+				continue
+			}
+			d.Suppressed = true
+			d.Reason = s.reason
+			s.used = true
+		}
+	}
+	for _, s := range sups {
+		switch {
+		case s.analyzer == "" || s.reason == "":
+			diags = append(diags, Diagnostic{
+				Analyzer: "reprolint",
+				Pos:      position(s),
+				Message:  "suppression must name an analyzer and give a reason: //reprolint:ok <analyzer> <reason>",
+			})
+		case !s.used:
+			diags = append(diags, Diagnostic{
+				Analyzer: "reprolint",
+				Pos:      position(s),
+				Message:  "suppression for " + s.analyzer + " matches no finding; delete it",
+			})
+		}
+	}
+	return diags
+}
+
+func position(s *suppression) (p token.Position) {
+	p.Filename = s.file
+	p.Line = s.line
+	p.Column = 1
+	return
+}

@@ -1,0 +1,40 @@
+// Fixture for the droppederr analyzer: discarded errors from
+// network-facing writes and flushes must be flagged; checked writes and
+// non-network writers must stay quiet.
+package fixture
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+)
+
+func bareFlush(bw *bufio.Writer) {
+	bw.Flush() // want `bufio.Writer.Flush error discarded`
+}
+
+func fprintfToConn(conn net.Conn, n int) {
+	fmt.Fprintf(conn, "hello %d\n", n) // want `fmt.Fprintf to net.Conn`
+}
+
+func deferredFlush(bw *bufio.Writer) {
+	defer bw.Flush() // want `deferred .*bufio.Writer.Flush discards its error`
+}
+
+func goWrite(conn net.Conn, frame []byte) {
+	go conn.Write(frame) // want `launched as a goroutine discards its error`
+}
+
+// Allowed: the error is handled.
+func checkedWrite(conn net.Conn, frame []byte) error {
+	if _, err := conn.Write(frame); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Allowed: a bytes.Buffer is not network-facing (its writes cannot fail).
+func bufferWrite(buf *bytes.Buffer, b []byte) {
+	buf.Write(b)
+}

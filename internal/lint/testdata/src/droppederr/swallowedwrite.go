@@ -1,0 +1,12 @@
+package fixture
+
+import "net"
+
+// Historical bug 3 (PR 5): livenet's frame pump discarded conn.Write errors
+// with a blank assignment, so a dead peer connection dropped frames with no
+// counter and no log line. The fix threads write errors into per-peer drop
+// counters and a once-per-connection log.
+
+func swallowedWrite(conn net.Conn, frame []byte) {
+	_, _ = conn.Write(frame) // want `net.Conn.Write error assigned to _`
+}

@@ -1,0 +1,76 @@
+// Fixture for the lockedsend analyzer: blocking channel operations under a
+// held sync.Mutex must be flagged — the PR 6 wedged-drain family, where a
+// ledger pump parked on a full stream channel while holding the state lock.
+// Stage-then-send, non-blocking selects, and goroutine bodies must stay
+// quiet.
+package fixture
+
+import "sync"
+
+type pump struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+// The historical shape: send on a possibly-full channel under the lock.
+func (p *pump) sendUnderLock(v int) {
+	p.mu.Lock()
+	p.out <- v // want `channel send while holding p.mu`
+	p.mu.Unlock()
+}
+
+func (p *pump) sendUnderDeferredUnlock(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.out <- v // want `channel send while holding p.mu`
+}
+
+func (p *pump) recvUnderLock() int {
+	p.mu.Lock()
+	v := <-p.out // want `channel receive while holding p.mu`
+	p.mu.Unlock()
+	return v
+}
+
+func (p *pump) blockingSelect(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.out <- v: // want `blocking select case while holding p.mu`
+	}
+}
+
+func (p *pump) waitUnderLock(wg *sync.WaitGroup) {
+	p.mu.Lock()
+	wg.Wait() // want `sync.WaitGroup.Wait while holding p.mu`
+	p.mu.Unlock()
+}
+
+// Allowed: stage under the lock, send after unlocking.
+func (p *pump) stageThenSend(v int) {
+	p.mu.Lock()
+	staged := v * 2
+	p.mu.Unlock()
+	p.out <- staged
+}
+
+// Allowed: a select with a default never blocks.
+func (p *pump) nonBlockingSend(v int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.out <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Allowed: the goroutine body runs without the caller's locks.
+func (p *pump) handOff(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		p.out <- v
+	}()
+}

@@ -1,0 +1,17 @@
+package fixture
+
+// Historical bug 2 (PR 4): pvss.AggShares and ThresholdKey.Combine selected
+// "the first f+1 shares" by ranging the share map, so every run of the same
+// seed could interpolate a different share subset. The fix iterates
+// order.SortedKeys so the selection is pinned to the lowest party indices.
+
+func aggShares(shares map[int][]byte, f int) [][]byte {
+	var sel [][]byte
+	for _, s := range shares { // want `appends to sel`
+		sel = append(sel, s)
+		if len(sel) == f+1 {
+			break
+		}
+	}
+	return sel
+}

@@ -1,0 +1,18 @@
+package fixture
+
+// Historical bug 1 (PR 3): Coin.OnSeed replayed parked candidate shares in
+// map-iteration order, so two replays of the same seed verified and
+// aggregated shares in different orders. The shape below — ranging a
+// pending map and feeding each element to a handler — is exactly what the
+// fix replaced with a sorted-key sweep.
+
+type pendingShare struct {
+	from  int
+	share []byte
+}
+
+func onSeedReplay(pending map[int]pendingShare, deliver func(pendingShare)) {
+	for _, sh := range pending { // want `calls deliver with a loop variable`
+		deliver(sh)
+	}
+}

@@ -1,0 +1,25 @@
+// Fixture for the suppression machinery, analyzed with the wallclock
+// analyzer (suppress_test.go asserts on the raw diagnostics instead of
+// want comments, because meta-findings land on the suppression line
+// itself).
+package fixture
+
+import "time"
+
+// A justified suppression silences the finding.
+func justified() int64 {
+	//reprolint:ok wallclock fixture exercises the justified-suppression path
+	return time.Now().UnixNano()
+}
+
+// A reasonless suppression silences nothing and is itself reported.
+func reasonless() int64 {
+	//reprolint:ok wallclock
+	return time.Now().UnixNano()
+}
+
+// A suppression that matches no finding is reported as stale.
+func stale() int {
+	//reprolint:ok wallclock nothing here reads the clock
+	return 42
+}

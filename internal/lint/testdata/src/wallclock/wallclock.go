@@ -1,0 +1,42 @@
+// Fixture for the wallclock analyzer: wall-clock reads and global
+// randomness must be flagged in deterministic packages; explicit seeded
+// sources and duration arithmetic must stay quiet.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in a deterministic package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in a deterministic package`
+}
+
+func nap(d time.Duration) {
+	time.Sleep(d) // want `time.Sleep in a deterministic package`
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `global rand.Intn in a deterministic package`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `global rand.Shuffle in a deterministic package`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// Allowed: an explicit seeded source is a pure function of the seed.
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// Allowed: duration values and arithmetic never read the clock.
+func window(rtt time.Duration) time.Duration {
+	return 3*rtt + 50*time.Millisecond
+}

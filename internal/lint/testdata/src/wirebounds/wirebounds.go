@@ -1,0 +1,54 @@
+// Fixture for the wirebounds analyzer: wire-decoded integers used as
+// indices, allocation sizes, or loop bounds before a range check must be
+// flagged — the coin.onCandidate leader-index shape hardened in PR 3.
+// Checked and modulo-bounded uses must stay quiet.
+package fixture
+
+import "repro/internal/wire"
+
+func badIndex(rd *wire.Reader, parties []string) string {
+	i := rd.Int()
+	return parties[i] // want `wire-decoded i used as an index before any range check`
+}
+
+func badMake(rd *wire.Reader) []byte {
+	n := rd.Int()
+	return make([]byte, n) // want `wire-decoded n used as an allocation size before any range check`
+}
+
+func badLoop(rd *wire.Reader) int {
+	n := rd.Int()
+	total := 0
+	for j := 0; j < n; j++ { // want `wire-decoded n used as a loop bound before any range check`
+		total += j
+	}
+	return total
+}
+
+func directIndex(rd *wire.Reader, xs []int) int {
+	return xs[rd.Int()] // want `used directly as an index`
+}
+
+func directMake(rd *wire.Reader) []byte {
+	return make([]byte, int(rd.Uint64())) // want `used directly as an allocation size`
+}
+
+// Allowed: compared against explicit bounds before the first use.
+func checked(rd *wire.Reader, parties []string, n int) (string, bool) {
+	i := rd.Int()
+	if i < 0 || i >= n {
+		return "", false
+	}
+	return parties[i], true
+}
+
+// Allowed: a modulo bounds the value wherever it lands.
+func modded(rd *wire.Reader, xs []int) int {
+	i := rd.Int()
+	return xs[i%len(xs)]
+}
+
+// Allowed: map lookups cannot panic on range.
+func mapLookup(rd *wire.Reader, m map[int]string) string {
+	return m[rd.Int()]
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallClock bans wall-clock time and global (unseeded) randomness inside
+// the deterministic packages. Everything the simulator, the protocol state
+// machines, the PKI and the crypto plane do must be a pure function of the
+// run seed: time flows from the scheduler's causal steps, entropy from the
+// seeded *rand.Rand the runtime hands each node (sim.Node.RandReader).
+// A single time.Now or global rand.Intn makes two replays of the same seed
+// diverge, which silently breaks every diff-gated BENCH artifact and every
+// sim<->livenet bit-identity test.
+//
+// Flagged: calls to time.Now/Since/Until/After/Tick/Sleep/AfterFunc/
+// NewTimer/NewTicker and the global-source functions of math/rand and
+// math/rand/v2 (rand.Int, rand.Intn, rand.Read, rand.Perm, rand.Shuffle,
+// ...). Not flagged: rand.New(rand.NewSource(seed)) — explicit seeded
+// construction — time.Duration values/constants, and methods on a
+// *rand.Rand value.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "wall-clock time or global randomness in a deterministic package",
+	AppliesTo: ScopeUnder(
+		"repro/internal/sim",
+		"repro/internal/core",
+		"repro/internal/crypto",
+		"repro/internal/pki",
+		"repro/internal/wire",
+		"repro/internal/baseline",
+	),
+	Run: runWallClock,
+}
+
+// wallClockTimeFuncs are the time functions that read or schedule against
+// the wall clock. (time.Unix and time.Date construct from explicit values
+// and are allowed.)
+var wallClockTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "Sleep": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions that
+// draw from the shared global source. Constructors taking an explicit
+// source/seed are allowed.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "IntN": true,
+	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true,
+	"Uint64N": true, "UintN": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true, "N": true,
+}
+
+func runWallClock(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFuncCall(info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "time" && wallClockTimeFuncs[name]:
+				pass.Reportf(call.Pos(), "time.%s in a deterministic package; take time from the scheduler, not the wall clock", name)
+			case (path == "math/rand" || path == "math/rand/v2") && globalRandFuncs[name]:
+				pass.Reportf(call.Pos(), "global rand.%s in a deterministic package; draw from the seeded *rand.Rand (sim.Node.RandReader)", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WireBounds flags integers decoded from a wire.Reader (Int / Uint32 /
+// Uint64) that are used as a slice/array index, an allocation size, or a
+// loop bound before any range check. A peer controls every byte on the
+// wire: an unchecked decoded length is an out-of-bounds panic or a
+// multi-gigabyte allocation waiting for the first Byzantine sender — the
+// exact shape coin.onCandidate hardened by hand in PR 3 (leader range
+// checked before the candidate is parked). Compare the value (against
+// rt.N(), a length, or explicit bounds) in an if/switch before using it,
+// or justify with //reprolint:ok.
+var WireBounds = &Analyzer{
+	Name: "wirebounds",
+	Doc:  "wire-decoded integer used as index/size/bound before a range check",
+	Run:  runWireBounds,
+}
+
+// wireLenMethods are the Reader methods yielding attacker-chosen integers.
+var wireLenMethods = map[string]bool{"Int": true, "Uint32": true, "Uint64": true}
+
+func runWireBounds(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		funcBodies(f, func(body *ast.BlockStmt) {
+			runWireBoundsFunc(pass, body)
+		})
+	}
+}
+
+// isWireLenCall reports whether e is rd.Int()/rd.Uint32()/rd.Uint64() on a
+// *wire.Reader (possibly wrapped in a conversion like int(rd.Uint32())).
+func isWireLenCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if tv, isT := info.Types[call.Fun]; isT && tv.IsType() && len(call.Args) == 1 {
+		return isWireLenCall(info, call.Args[0])
+	}
+	recv, name, ok := methodCall(info, call)
+	if !ok || !wireLenMethods[name] {
+		return false
+	}
+	return typeIs(info.TypeOf(recv), "repro/internal/wire.Reader")
+}
+
+type wireVar struct {
+	obj      types.Object
+	name     string
+	assigned token.Pos
+	guarded  token.Pos // earliest if/switch comparison, or NoPos
+}
+
+func runWireBoundsFunc(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Pass 1: variables bound to wire-decoded integers, plus direct
+	// nested uses (xs[rd.Int()], make([]T, rd.Int())).
+	vars := map[types.Object]*wireVar{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				if !isWireLenCall(info, rhs) {
+					continue
+				}
+				id, ok := s.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if obj := info.ObjectOf(id); obj != nil {
+					vars[obj] = &wireVar{obj: obj, name: id.Name, assigned: s.Pos()}
+				}
+			}
+		case *ast.IndexExpr:
+			if isMapIndex(info, s) {
+				return true // map index can't panic on range
+			}
+			if containsWireLenCall(info, s.Index) {
+				pass.Reportf(s.Index.Pos(), "wire-decoded integer used directly as an index; range-check it first")
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, s, "make") {
+				for _, a := range s.Args[1:] {
+					if containsWireLenCall(info, a) {
+						pass.Reportf(a.Pos(), "wire-decoded integer used directly as an allocation size; range-check it first")
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+
+	// Pass 2: earliest guarding comparison per variable — a comparison
+	// inside an if condition or a switch tag.
+	markGuards := func(cond ast.Expr, at token.Pos) {
+		if cond == nil {
+			return
+		}
+		ast.Inspect(cond, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			default:
+				return true
+			}
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				if id, isID := side.(*ast.Ident); isID {
+					if v, tracked := vars[info.ObjectOf(id)]; tracked && (v.guarded == token.NoPos || at < v.guarded) {
+						v.guarded = at
+					}
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			markGuards(s.Cond, s.Pos())
+		case *ast.SwitchStmt:
+			markGuards(s.Tag, s.Pos())
+			if id, ok := s.Tag.(*ast.Ident); ok {
+				if v, tracked := vars[info.ObjectOf(id)]; tracked && (v.guarded == token.NoPos || s.Pos() < v.guarded) {
+					v.guarded = s.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: risky uses before the guard.
+	guardedAt := func(e ast.Expr, at token.Pos) (v *wireVar, risky bool) {
+		found := (*wireVar)(nil)
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			// A % by anything bounds the value.
+			if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.REM {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if v, tracked := vars[info.ObjectOf(id)]; tracked {
+					found = v
+				}
+			}
+			return true
+		})
+		if found == nil {
+			return nil, false
+		}
+		return found, found.guarded == token.NoPos || at < found.guarded
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IndexExpr:
+			if isMapIndex(info, s) {
+				return true // map index can't panic on range
+			}
+			if v, risky := guardedAt(s.Index, s.Pos()); risky {
+				pass.Reportf(s.Pos(), "wire-decoded %s used as an index before any range check", v.name)
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, s, "make") {
+				for _, a := range s.Args[1:] {
+					if v, risky := guardedAt(a, s.Pos()); risky {
+						pass.Reportf(a.Pos(), "wire-decoded %s used as an allocation size before any range check", v.name)
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil {
+				if v, risky := guardedAt(s.Cond, s.Pos()); risky {
+					pass.Reportf(s.Cond.Pos(), "wire-decoded %s used as a loop bound before any range check", v.name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isMapIndex reports whether ix indexes a map (lookups cannot panic on an
+// out-of-range key, so decoded integers are safe there).
+func isMapIndex(info *types.Info, ix *ast.IndexExpr) bool {
+	t := info.TypeOf(ix.X)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// containsWireLenCall reports whether e contains a rd.Int()-style call.
+func containsWireLenCall(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if expr, ok := n.(ast.Expr); ok && isWireLenCall(info, expr) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

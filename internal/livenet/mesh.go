@@ -754,14 +754,19 @@ func (m *Mesh) Close() {
 		return
 	}
 	// Final drain so frames written just before shutdown reach peers that
-	// are still up (graceful-shutdown flush).
+	// are still up (graceful-shutdown flush). A failed flush strands the
+	// peer's tail frames: count it like any other dead link (killLocked
+	// retires the conn and logs once) instead of discarding the error.
 	for _, l := range m.out {
 		if l == nil {
 			continue
 		}
 		l.mu.Lock()
 		if l.bw != nil && l.bw.Buffered() > 0 {
-			_ = l.bw.Flush()
+			if err := l.bw.Flush(); err != nil {
+				l.drops.Add(1)
+				m.killLocked(l, err)
+			}
 		}
 		l.mu.Unlock()
 	}

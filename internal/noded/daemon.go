@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,11 @@ type Daemon struct {
 	draining atomic.Bool
 	ctl      net.Listener
 	stopOnce sync.Once
+
+	// ctlWriteErrs counts control-RPC response writes that failed — a
+	// launcher that never saw its answer. Surfaced via Stats so dropped
+	// control I/O is observable, mirroring the mesh's drop counters.
+	ctlWriteErrs atomic.Int64
 }
 
 // instance tracks one launched protocol instance. dec is written under the
@@ -167,6 +173,13 @@ func (d *Daemon) serveConn(conn net.Conn) {
 			raw, _ = json.Marshal(&Response{Error: err.Error()})
 		}
 		if _, err := conn.Write(append(raw, '\n')); err != nil {
+			// The launcher on the far side never saw this response; count
+			// it and log once per connection (same class as the PR 5
+			// swallowed conn.Write in livenet), then give up on the conn.
+			d.ctlWriteErrs.Add(1)
+			if !d.draining.Load() {
+				log.Printf("noded: party %d control response write failed: %v", d.self, err)
+			}
 			return
 		}
 		if req.Op == OpStop {
@@ -305,6 +318,8 @@ func (d *Daemon) stats() *Stats {
 		Dups:          tcp.Dups,
 		WANDelays:     tcp.WANDelays,
 		WANLosses:     tcp.WANLosses,
+
+		ControlWriteErrs: d.ctlWriteErrs.Load(),
 	}
 }
 

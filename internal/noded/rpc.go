@@ -108,6 +108,10 @@ type Stats struct {
 	Dups          int64 `json:"dups"`
 	WANDelays     int64 `json:"wanDelays"`
 	WANLosses     int64 `json:"wanLosses"`
+
+	// ControlWriteErrs counts control-RPC responses the daemon failed to
+	// write back to a launcher (the connection died mid-reply).
+	ControlWriteErrs int64 `json:"controlWriteErrs,omitempty"`
 }
 
 // PredicateByName resolves a named VBA validity predicate ("any",
@@ -151,7 +155,11 @@ func (c *Client) Call(req *Request, deadline time.Duration) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if deadline > 0 {
-		c.conn.SetDeadline(time.Now().Add(deadline))
+		if err := c.conn.SetDeadline(time.Now().Add(deadline)); err != nil {
+			return nil, fmt.Errorf("noded: control deadline: %w", err)
+		}
+		// Best-effort reset: if the conn died during the call, the next
+		// Call's SetDeadline reports it.
 		defer c.conn.SetDeadline(time.Time{})
 	}
 	raw, err := json.Marshal(req)

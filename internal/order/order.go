@@ -1,0 +1,32 @@
+// Package order provides deterministic iteration helpers for maps. Go
+// randomizes map iteration order per run; protocol state machines, the
+// simulator and the crypto plane must instead be pure functions of the run
+// seed, so any map walk whose body appends, sends, signs, hashes, picks a
+// winner or selects interpolation shares iterates these sorted key slices.
+// The reprolint maporder analyzer (internal/lint) enforces this
+// mechanically: ranging over order.SortedKeys ranges a slice and is never
+// flagged.
+package order
+
+import (
+	"cmp"
+	"maps"
+	"slices"
+	"sort"
+)
+
+// SortedKeys returns m's keys in ascending order.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// SortedKeysFunc returns m's keys sorted by the given strict ordering —
+// for key types without a natural < (byte arrays, VRF outputs).
+func SortedKeysFunc[K comparable, V any](m map[K]V, less func(a, b K) bool) []K {
+	ks := make([]K, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return less(ks[i], ks[j]) })
+	return ks
+}

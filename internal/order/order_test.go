@@ -1,0 +1,40 @@
+package order
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{5: "e", 1: "a", 3: "c", 2: "b", 4: "d"}
+	for trial := 0; trial < 20; trial++ {
+		got := SortedKeys(m)
+		if want := []int{1, 2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+		}
+	}
+	if got := SortedKeys(map[string]int{"b": 1, "a": 2}); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("string keys: got %v", got)
+	}
+	if got := SortedKeys(map[int]int(nil)); len(got) != 0 {
+		t.Fatalf("nil map: got %v", got)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	type pair [2]byte
+	m := map[pair]int{{2, 0}: 1, {1, 9}: 2, {1, 1}: 3}
+	less := func(a, b pair) bool {
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	}
+	for trial := 0; trial < 20; trial++ {
+		got := SortedKeysFunc(m, less)
+		want := []pair{{1, 1}, {1, 9}, {2, 0}}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+		}
+	}
+}

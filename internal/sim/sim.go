@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/order"
 	"repro/internal/proto"
 )
 
@@ -140,10 +141,10 @@ func (m *Metrics) ByInstance(tag string) Tally {
 // ByPrefix sums honest traffic over instance paths with the given prefix.
 func (m *Metrics) ByPrefix(prefix string) Tally {
 	var t Tally
-	for inst, tally := range m.PerInst {
+	for _, inst := range order.SortedKeys(m.PerInst) {
 		if strings.HasPrefix(inst, prefix) {
-			t.Msgs += tally.Msgs
-			t.Bytes += tally.Bytes
+			t.Msgs += m.PerInst[inst].Msgs
+			t.Bytes += m.PerInst[inst].Bytes
 		}
 	}
 	return t

@@ -1,0 +1,64 @@
+package wire
+
+import "testing"
+
+// FuzzWireReader drives a Reader over attacker-chosen bytes with an
+// attacker-chosen sequence of decode operations — the exact situation every
+// message decoder is in when a Byzantine peer crafts a frame. The contract
+// under test: no input may panic, the first error latches (later operations
+// return zero values without changing it), and Done never reports success
+// while an error is latched.
+func FuzzWireReader(f *testing.F) {
+	// Seed with a realistic protocol-shaped frame (tag byte, party index,
+	// counters, a blob payload, a digest, a flag, a quorum bitmap) and the
+	// interesting failure shapes: a blob whose length prefix overruns the
+	// message, and one over the sanity cap.
+	var w Writer
+	w.Byte(3)
+	w.Int(7)
+	w.Uint32(0xdeadbeef)
+	w.Uint64(1 << 40)
+	w.Blob([]byte("proposal"))
+	w.Bytes32(make([]byte, 32))
+	w.Bool(true)
+	w.BitSet(map[int]bool{0: true, 2: true}, 4)
+	f.Add([]byte{0, 2, 3, 5, 4, 6, 1, 7}, w.Bytes())
+	f.Add([]byte{4}, []byte{0, 0, 0, 5, 'a'})        // blob prefix overruns message
+	f.Add([]byte{4}, []byte{0xff, 0xff, 0xff, 0xff}) // blob length over cap
+	f.Add([]byte{2, 2, 2, 2}, []byte{})              // reads off an empty message
+	f.Add([]byte{}, []byte{1, 2, 3})                 // trailing bytes for Done
+
+	f.Fuzz(func(t *testing.T, ops, msg []byte) {
+		rd := NewReader(msg)
+		var latched error
+		for _, op := range ops {
+			switch op % 8 {
+			case 0:
+				rd.Byte()
+			case 1:
+				rd.Bool()
+			case 2:
+				rd.Int()
+			case 3:
+				rd.Uint32()
+			case 4:
+				rd.Blob()
+			case 5:
+				rd.Uint64()
+			case 6:
+				rd.Bytes32()
+			case 7:
+				rd.Raw(int(op) >> 3)
+			}
+			if latched == nil {
+				latched = rd.Err()
+			} else if rd.Err() != latched {
+				t.Fatalf("error latch broke: %v changed to %v", latched, rd.Err())
+			}
+		}
+		rd.BitSet(len(ops) % 64)
+		if rd.Err() != nil && rd.Done() == nil {
+			t.Fatal("Done reported success with a latched error")
+		}
+	})
+}
