@@ -282,7 +282,12 @@ func (a *ABA) onRoundMsg(tag byte, r int, v byte, from int) {
 			a.rt.Reject()
 			return
 		}
-		if _, dup := st.aux1Recv[from]; dup {
+		if pv, dup := st.aux1Recv[from]; dup {
+			// Honest parties send AUX1 at most once per round; a second
+			// copy with a different value is proof of a double vote.
+			if pv != v {
+				a.rt.Equivocation()
+			}
 			return
 		}
 		st.aux1Recv[from] = v
@@ -316,7 +321,10 @@ func (a *ABA) onRoundMsg(tag byte, r int, v byte, from int) {
 			a.rt.Reject()
 			return
 		}
-		if _, dup := st.aux2Recv[from]; dup {
+		if pv, dup := st.aux2Recv[from]; dup {
+			if pv != v {
+				a.rt.Equivocation()
+			}
 			return
 		}
 		st.aux2Recv[from] = v
@@ -437,6 +445,12 @@ func (a *ABA) resolveRound(r int) {
 
 func (a *ABA) onFinish(v byte, from int) {
 	if a.finishRecv[v][from] {
+		return
+	}
+	// Honest parties FINISH exactly one value; a FINISH for the other bit
+	// from the same sender is proof of a double vote.
+	if a.finishRecv[1-v][from] {
+		a.rt.Equivocation()
 		return
 	}
 	a.finishRecv[v][from] = true

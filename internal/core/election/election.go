@@ -160,6 +160,7 @@ func (e *Election) onRBC(j int, v []byte) {
 	}
 	leader := rd.Int()
 	if rd.Err() != nil || leader < 0 || leader >= e.rt.N() {
+		e.rt.Reject()
 		return
 	}
 	if _, ok := e.coin.Seed(leader); !ok {
@@ -199,19 +200,22 @@ func (e *Election) accept(j int, v []byte) {
 	rb := rd.Bytes32()
 	pb := rd.Raw(vrf.ProofSize)
 	if rd.Done() != nil {
+		e.rt.Reject()
 		return
 	}
 	var out vrf.Output
 	copy(out[:], rb)
 	pf, err := vrf.ProofFromBytes(pb)
 	if err != nil {
+		e.rt.Reject()
 		return
 	}
 	sd, ok := e.coin.Seed(leader)
 	if !ok {
-		return
+		return // seed not yet derivable; not evidence of a bad broadcast
 	}
 	if !e.keys.VerifyVRF(leader, e.coin.VRFInput(sd), out, pf) {
+		e.rt.Reject()
 		return
 	}
 	e.g[j] = &entry{leader: leader, value: out, proof: pf}

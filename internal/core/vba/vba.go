@@ -331,9 +331,11 @@ func (v *VBA) onPBSend(from int, raw []byte, rd *wire.Reader) {
 	if vs.ackStopped || view < v.view {
 		return // stale view or frozen by the Ready barrier
 	}
-	// One value per (view, leader), forever.
+	// One value per (view, leader), forever. A different value under the
+	// same (view, leader) is proof of an equivocating proposer.
 	if pv, ok := vs.pinned[from]; ok {
 		if string(pv) != string(value) {
+			v.rt.Equivocation()
 			v.rt.Reject()
 			return
 		}

@@ -1,0 +1,306 @@
+package exp
+
+// Byzantine-party runs: clusters where the last parties do not crash but
+// actively lie, driving the honest receipt paths that the detection
+// counters (Stats.Rejected, Stats.Equivocations) instrument. The lying
+// strategies live in internal/adversary; this file owns the runner that
+// wires a registered behavior onto a party, the spec family (group "byz")
+// the CI safety matrix sweeps, and the beyond-the-bound violation spec.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/adversary"
+	"repro/internal/core/aba"
+	"repro/internal/core/adkg"
+	"repro/internal/core/coin"
+	"repro/internal/core/election"
+	"repro/internal/core/vba"
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// ByzOutcome is the result of RunByzantine.
+type ByzOutcome struct {
+	Stats Stats
+	// Agreed reports whether every honest party reached the same decision
+	// — the safety half of the byz-spec contract. For the coin protocol it
+	// reflects the α-agreement rate, not a hard guarantee.
+	Agreed bool
+	// Decision is a canonical one-line summary of the honest outcome.
+	Decision string
+	// Digest fingerprints Decision; two runs of the same seed must match.
+	Digest uint32
+	// Liars is how many parties ran a lying behavior.
+	Liars int
+}
+
+// byzPredicate is the external validity predicate Q the VBA workloads use.
+// Behaviors that rewrite proposals (vba-doublevote's value+"!") keep the
+// prefix intact: their lie must survive Q so the pin-conflict path, not
+// predicate filtering, is what catches them.
+func byzPredicate(v []byte) bool {
+	return len(v) >= 3 && string(v[:3]) == "ok:"
+}
+
+func byzProposal(i int) []byte { return []byte(fmt.Sprintf("ok:p%d", i)) }
+
+// RunByzantine executes one protocol run in which the top-indexed
+// len(behaviors) parties each run the named lying behavior (repeat a name
+// to field several liars). The liars execute the ordinary protocol state
+// machines through an adversary.Wrap'd runtime, so they participate —
+// and lie — for as long as the run lasts. rs.Crash additionally fells
+// that many parties just below the liars, composing crash faults with
+// active lies; rs.Sched composes adversarial scheduling as usual.
+//
+// protocol selects the workload: "coin", "aba", "vba", "adkg" or
+// "election". Honest parties run the standard launcher for it; safety is
+// judged over their decisions only.
+func RunByzantine(rs RunSpec, protocol string, behaviors []string) (ByzOutcome, error) {
+	f := rs.F
+	if f < 0 {
+		f = (rs.N - 1) / 3
+	}
+	byz := make(map[int]bool, len(behaviors)+rs.Crash)
+	liars := make([]int, 0, len(behaviors))
+	for k := range behaviors {
+		i := rs.N - 1 - k
+		byz[i] = true
+		liars = append(liars, i)
+	}
+	crashed := make([]int, 0, rs.Crash)
+	for k := 0; k < rs.Crash; k++ {
+		i := rs.N - 1 - len(behaviors) - k
+		byz[i] = true
+		crashed = append(crashed, i)
+	}
+	c, err := harness.NewCluster(rs.N, f, rs.Seed, harness.Options{
+		Scheduler: rs.Sched, Byzantine: byz, Budget: rs.steps(),
+	})
+	if err != nil {
+		return ByzOutcome{}, err
+	}
+	for _, i := range crashed {
+		c.Net.Node(i).Crash()
+	}
+
+	const tag = "byz"
+	cfg := rs.coinCfg()
+	inputs := make([]byte, rs.N)
+	props := make([][]byte, rs.N)
+	for i := range inputs {
+		inputs[i] = byte(i % 2)
+		props[i] = byzProposal(i)
+	}
+
+	// Honest parties: the standard launchers (EachHonest skips the byz
+	// set). Liars: the same state machines on a wrapped runtime with
+	// discarded outputs — their decisions are not part of the contract.
+	var wait func(context.Context) error
+	var outcome func() (agreed bool, decision string)
+	switch protocol {
+	case "coin":
+		inst := LaunchCoin(c, tag, cfg)
+		wait = inst.Wait
+		outcome = func() (bool, string) {
+			o := inst.Outcome()
+			return o.Agreed, fmt.Sprintf("coin bit=%d maxset=%v", o.Bit, o.MaxIsSet)
+		}
+	case "aba":
+		inst := LaunchABA(c, tag, inputs, func(i int) aba.CoinFactory {
+			return aba.PaperCoins(c.Runtime(i), tag+"/c", c.Keys[i], cfg)
+		})
+		wait = inst.Wait
+		outcome = func() (bool, string) {
+			o := inst.Outcome()
+			return o.Agreed, fmt.Sprintf("aba bit=%d", o.Bit)
+		}
+	case "vba":
+		inst := LaunchVBA(c, tag, props, byzPredicate, vba.Config{Coin: cfg})
+		wait = inst.Wait
+		outcome = func() (bool, string) {
+			o := inst.Outcome()
+			return o.Agreed, fmt.Sprintf("vba value=%q", o.Value)
+		}
+	case "adkg":
+		inst := LaunchADKG(c, tag, adkg.Config{VBA: vba.Config{Coin: cfg}})
+		wait = inst.Wait
+		outcome = func() (bool, string) {
+			o := inst.Outcome()
+			return o.KeysAgree, fmt.Sprintf("adkg agree=%v contributors=%d", o.KeysAgree, o.Contributors)
+		}
+	case "election":
+		inst := LaunchElection(c, tag, election.Config{Coin: cfg})
+		wait = inst.Wait
+		outcome = func() (bool, string) {
+			o := inst.Outcome()
+			return o.Agreed, fmt.Sprintf("election leader=%d default=%v", o.Leader, o.ByDefault)
+		}
+	default:
+		return ByzOutcome{}, fmt.Errorf("byz run: unknown protocol %q", protocol)
+	}
+
+	for k, i := range liars {
+		b, ok := adversary.Lookup(behaviors[k])
+		if !ok {
+			return ByzOutcome{}, fmt.Errorf("byz run: unknown behavior %q", behaviors[k])
+		}
+		i := i
+		wrt := adversary.Wrap(c.Runtime(i), b)
+		c.Launch(i, func() {
+			switch protocol {
+			case "coin":
+				coin.New(wrt, tag, c.Keys[i], cfg, func(coin.Result) {}).Start()
+			case "aba":
+				a := aba.New(wrt, tag, aba.PaperCoins(wrt, tag+"/c", c.Keys[i], cfg), func(byte) {})
+				a.Start(inputs[i])
+			case "vba":
+				v := vba.New(wrt, tag, c.Keys[i], byzPredicate, vba.Config{Coin: cfg}, func([]byte) {})
+				v.Start(props[i])
+			case "adkg":
+				adkg.New(wrt, tag, c.Keys[i], adkg.Config{VBA: vba.Config{Coin: cfg}}, func(adkg.ThresholdKey) {}).Start()
+			case "election":
+				election.New(wrt, tag, c.Keys[i], election.Config{Coin: cfg}, func(election.Result) {}).Start()
+			}
+		})
+	}
+
+	if err := wait(context.Background()); err != nil {
+		return ByzOutcome{}, fmt.Errorf("byz %s run: %w", protocol, err)
+	}
+	agreed, decision := outcome()
+	h := fnv.New32a()
+	h.Write([]byte(decision))
+	return ByzOutcome{
+		Stats:    collectStats(c, maxHonestDepth(c)),
+		Agreed:   agreed,
+		Decision: decision,
+		Digest:   h.Sum32(),
+		Liars:    len(liars),
+	}, nil
+}
+
+func maxHonestDepth(c *harness.Cluster) int {
+	d := 0
+	c.EachHonest(func(i int) {
+		if x := c.Depth(i); x > d {
+			d = x
+		}
+	})
+	return d
+}
+
+// repeat fills a behavior-name slice with k copies of the names, cycling —
+// the "f liars, all lying" shape of the boundary specs and the mixed
+// nightly sweep.
+func repeat(names []string, k int) []string {
+	out := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, names[i%len(names)])
+	}
+	return out
+}
+
+// byzRun adapts one behavior family into a Spec runner. Beyond reporting
+// cost, it enforces the safety-matrix contract inline: honest parties must
+// agree (except the α-agreeing coin), the run must terminate within
+// budget (wait already failed otherwise), and at least one detection
+// counter must have fired — a lying party that nobody caught is a spec
+// failure, not a statistic.
+func byzRun(protocol string, names ...string) func(RunSpec) (Outcome, error) {
+	return func(rs RunSpec) (Outcome, error) {
+		f := rs.F
+		if f < 0 {
+			f = (rs.N - 1) / 3
+		}
+		out, err := RunByzantine(rs, protocol, repeat(names, f))
+		if err != nil {
+			return Outcome{}, err
+		}
+		if protocol != "coin" && !out.Agreed {
+			return Outcome{}, fmt.Errorf("byz %s run: honest parties disagree (%s)", protocol, out.Decision)
+		}
+		if out.Stats.Rejected+out.Stats.Equivocations == 0 {
+			return Outcome{}, fmt.Errorf("byz %s run: no detection counter fired for %v", protocol, names)
+		}
+		return Outcome{Stats: out.Stats, Extra: map[string]float64{
+			"agreed":        b2f(out.Agreed),
+			"digest":        float64(out.Digest),
+			"liars":         float64(out.Liars),
+			"rejects":       float64(out.Stats.Rejected),
+			"equivocations": float64(out.Stats.Equivocations),
+		}}, nil
+	}
+}
+
+// byzViolationRun is the beyond-the-bound probe: f+1 garbage peers at
+// once, one past what the protocol tolerates. The spec EXPECTS the run to
+// violate liveness — a drained simulator queue with honest parties still
+// waiting is the success condition, and termination within budget would
+// mean the bound is slack somewhere.
+func byzViolationRun(rs RunSpec) (Outcome, error) {
+	f := rs.F
+	if f < 0 {
+		f = (rs.N - 1) / 3
+	}
+	out, err := RunByzantine(rs, "vba", repeat([]string{"byz/wire-garbage"}, f+1))
+	if err != nil {
+		var stall *sim.StallError
+		if errors.As(err, &stall) {
+			return Outcome{Stats: Stats{N: rs.N, F: f}, Extra: map[string]float64{
+				"violated": 1, "liars": float64(f + 1),
+			}}, nil
+		}
+		return Outcome{}, err
+	}
+	return Outcome{}, fmt.Errorf("byz violation run: f+1=%d garbage peers but VBA still decided (%s)", f+1, out.Decision)
+}
+
+func init() {
+	byzNs := []int{4, 7}
+	sweep := func(protocol, name, title, claim string) {
+		Register(Spec{
+			Name: name, Group: "byz", Tags: []string{"matrix"},
+			Title: title, Claim: claim,
+			Ns: byzNs, Trials: 2, Genesis: []byte("byz"),
+			Run: byzRun(protocol, name),
+		})
+	}
+	sweep("coin", "byz/avss-equivocate",
+		"Coin vs equivocating AVSS dealers", "liveness; bad shares rejected")
+	sweep("adkg", "byz/pvss-badshare",
+		"ADKG vs bad-share PVSS dealers", "agreement; scripts rejected")
+	sweep("adkg", "byz/adkg-forge-sok",
+		"ADKG vs forged-SoK contributors", "agreement; scripts rejected")
+	sweep("aba", "byz/aba-doublevote",
+		"ABA vs double-voting parties", "agreement; equivocations proven")
+	sweep("vba", "byz/vba-doublevote",
+		"VBA vs equivocating proposers", "agreement; equivocations proven")
+	sweep("coin", "byz/coin-lie",
+		"Coin vs lying candidate senders", "liveness; candidates rejected")
+	sweep("election", "byz/election-lie",
+		"Election vs lying coin-share senders", "perfect agreement; rejected")
+	sweep("vba", "byz/wire-garbage",
+		"VBA vs garbage-on-the-wire peers", "agreement; garbage rejected")
+
+	// Distinct behaviors active simultaneously (the nightly shape: f
+	// liars split across strategies once f ≥ 2).
+	Register(Spec{
+		Name: "byz/mixed", Group: "byz", Tags: []string{"matrix"},
+		Title: "VBA vs mixed doublevote+garbage liars", Claim: "agreement under composed lies",
+		Ns: byzNs, Trials: 2, Genesis: []byte("byz"),
+		Run: byzRun("vba", "byz/vba-doublevote", "byz/wire-garbage"),
+	})
+
+	// The boundary proof's other half: one liar past f and the same
+	// workload must stall (ExpectViolation — success IS the violation).
+	Register(Spec{
+		Name: "byz/beyond-bound", Group: "byz",
+		Title: "VBA vs f+1 garbage peers", Claim: "liveness violated past the bound",
+		Ns: []int{4}, Trials: 1, Genesis: []byte("byz"),
+		Run: byzViolationRun,
+	})
+}

@@ -1,0 +1,230 @@
+package exp
+
+// The Byzantine safety matrix: every registered adversary behavior runs
+// against its protocol and must leave honest safety intact, terminate
+// within the delivery budget, and trip a detection counter. The boundary
+// tests prove the f=⌊(n−1)/3⌋ bound from both sides — every behavior
+// passes at f liars, and one documented ExpectViolation case shows the
+// same workload degrade at f+1.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+// byzSeed keeps the matrix deterministic and distinct from other suites.
+const byzSeed = 0xb12a
+
+// TestByzantineMatrix is the CI-gated matrix: every registered behavior at
+// n=4 (f=1). Each behavior's spec wrapper already enforces agreement,
+// liveness and nonzero detection; here we additionally pin the evidence
+// kind — double votes must yield provable equivocations, not just
+// rejected garbage.
+func TestByzantineMatrix(t *testing.T) {
+	for _, name := range adversary.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b, _ := adversary.Lookup(name)
+			out, err := RunByzantine(
+				RunSpec{N: 4, F: -1, Seed: byzSeed, Genesis: []byte("byz")},
+				b.Protocol, []string{name})
+			if err != nil {
+				t.Fatalf("behavior %s: %v", name, err)
+			}
+			if b.Protocol != "coin" && !out.Agreed {
+				t.Fatalf("behavior %s: honest parties disagree (%s)", name, out.Decision)
+			}
+			if out.Stats.Rejected+out.Stats.Equivocations == 0 {
+				t.Fatalf("behavior %s: lied undetected", name)
+			}
+			if strings.Contains(name, "doublevote") && out.Stats.Equivocations == 0 {
+				t.Fatalf("behavior %s: double votes produced no equivocation evidence (rejected=%d)",
+					name, out.Stats.Rejected)
+			}
+			t.Logf("%s: %s rejected=%d equivocations=%d",
+				name, out.Decision, out.Stats.Rejected, out.Stats.Equivocations)
+		})
+	}
+}
+
+// TestByzantineHonestBaseline pins the detection counters' zero point:
+// a fully honest run of every byz workload records no rejections and no
+// equivocations, so anything nonzero in the matrix is attributable to the
+// lying parties alone.
+func TestByzantineHonestBaseline(t *testing.T) {
+	for _, protocol := range []string{"coin", "aba", "vba", "adkg", "election"} {
+		out, err := RunByzantine(
+			RunSpec{N: 4, F: -1, Seed: byzSeed, Genesis: []byte("byz")},
+			protocol, nil)
+		if err != nil {
+			t.Fatalf("honest %s: %v", protocol, err)
+		}
+		if out.Stats.Rejected != 0 || out.Stats.Equivocations != 0 {
+			t.Fatalf("honest %s: spurious detection rejected=%d equivocations=%d",
+				protocol, out.Stats.Rejected, out.Stats.Equivocations)
+		}
+	}
+}
+
+// TestByzantineBoundary proves the positive half of the bound at n=7:
+// f=2 parties all running the same behavior, and the honest majority
+// still agrees, terminates and detects. Skipped under -short (the n=4
+// matrix covers the same contract at f=1).
+func TestByzantineBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=7 boundary sweep runs in the nightly matrix")
+	}
+	for _, name := range adversary.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b, _ := adversary.Lookup(name)
+			out, err := RunByzantine(
+				RunSpec{N: 7, F: -1, Seed: byzSeed, Genesis: []byte("byz")},
+				b.Protocol, []string{name, name})
+			if err != nil {
+				t.Fatalf("behavior %s at f=2: %v", name, err)
+			}
+			if b.Protocol != "coin" && !out.Agreed {
+				t.Fatalf("behavior %s at f=2: honest parties disagree (%s)", name, out.Decision)
+			}
+			if out.Stats.Rejected+out.Stats.Equivocations == 0 {
+				t.Fatalf("behavior %s at f=2: lied undetected", name)
+			}
+		})
+	}
+}
+
+// TestByzantineBeyondBound is the documented ExpectViolation case: f+1
+// garbage peers exceed what any of the protocols tolerate, and the run
+// must stall (drained queue, honest parties still waiting) instead of
+// deciding. A decision here would mean the f-bound is slack.
+func TestByzantineBeyondBound(t *testing.T) {
+	ns := []int{4}
+	if !testing.Short() {
+		ns = append(ns, 7)
+	}
+	for _, n := range ns {
+		f := (n - 1) / 3
+		liars := repeat([]string{"byz/wire-garbage"}, f+1)
+		out, err := RunByzantine(
+			RunSpec{N: n, F: -1, Seed: byzSeed, Genesis: []byte("byz")},
+			"vba", liars)
+		if err == nil {
+			t.Fatalf("n=%d: VBA decided despite f+1=%d garbage peers (%s)", n, f+1, out.Decision)
+		}
+		var stall *sim.StallError
+		if !errors.As(err, &stall) {
+			t.Fatalf("n=%d: expected a liveness stall, got: %v", n, err)
+		}
+	}
+}
+
+// TestByzantineDeterminism replays one lying run: same seed, bit-identical
+// honest decisions and detection counters. This is what makes a Byzantine
+// CI failure reproducible from its seed alone.
+func TestByzantineDeterminism(t *testing.T) {
+	run := func() ByzOutcome {
+		out, err := RunByzantine(
+			RunSpec{N: 4, F: -1, Seed: byzSeed, Genesis: []byte("byz")},
+			"vba", []string{"byz/vba-doublevote"})
+		if err != nil {
+			t.Fatalf("replay run: %v", err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a.Digest != b.Digest || a.Decision != b.Decision {
+		t.Fatalf("decisions diverged across replays: %q vs %q", a.Decision, b.Decision)
+	}
+	if a.Stats.Rejected != b.Stats.Rejected || a.Stats.Equivocations != b.Stats.Equivocations {
+		t.Fatalf("detection counters diverged: (%d,%d) vs (%d,%d)",
+			a.Stats.Rejected, a.Stats.Equivocations, b.Stats.Rejected, b.Stats.Equivocations)
+	}
+	if a.Stats.Msgs != b.Stats.Msgs || a.Stats.Bytes != b.Stats.Bytes {
+		t.Fatalf("honest traffic diverged: (%d,%d) vs (%d,%d)",
+			a.Stats.Msgs, a.Stats.Bytes, b.Stats.Msgs, b.Stats.Bytes)
+	}
+}
+
+// TestByzantineSchedComposition stacks an adversarial scheduler on top of
+// a lying party — the registry composes with the sched layer the same way
+// crash profiles always have.
+func TestByzantineSchedComposition(t *testing.T) {
+	for _, sched := range []string{"lifo", "partition"} {
+		sched := sched
+		t.Run(sched, func(t *testing.T) {
+			fac, err := NamedSched(sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, rerr := RunByzantine(
+				RunSpec{N: 4, F: -1, Seed: byzSeed, Genesis: []byte("byz"), Sched: fac(4, byzSeed)},
+				"aba", []string{"byz/aba-doublevote"})
+			if rerr != nil {
+				t.Fatalf("aba-doublevote under %s: %v", sched, rerr)
+			}
+			if !out.Agreed {
+				t.Fatalf("aba-doublevote under %s: disagreement (%s)", sched, out.Decision)
+			}
+			if out.Stats.Equivocations == 0 {
+				t.Fatalf("aba-doublevote under %s: no equivocation evidence", sched)
+			}
+		})
+	}
+}
+
+// TestByzantineCrashComposition runs a liar and a crashed party side by
+// side at n=7 (f=2 total corruptions: one lying, one silent), the mixed
+// fault shape real deployments see.
+func TestByzantineCrashComposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=7 composition runs in the nightly matrix")
+	}
+	out, err := RunByzantine(
+		RunSpec{N: 7, F: -1, Seed: byzSeed, Genesis: []byte("byz"), Crash: 1},
+		"vba", []string{"byz/vba-doublevote"})
+	if err != nil {
+		t.Fatalf("liar+crash: %v", err)
+	}
+	if !out.Agreed {
+		t.Fatalf("liar+crash: disagreement (%s)", out.Decision)
+	}
+	if out.Stats.Equivocations == 0 {
+		t.Fatal("liar+crash: no equivocation evidence")
+	}
+}
+
+// TestByzantineGarbageAllProtocols is the receipt-path audit the
+// garbage-peer behavior exists for: every protocol's full decode surface
+// fed in-protocol adversarial bytes, with several seeds so the four
+// mutation modes land on different messages. Any panic here is a wire
+// hardening bug; its reproducer belongs in the FuzzWireReader corpus.
+func TestByzantineGarbageAllProtocols(t *testing.T) {
+	seeds := []int64{byzSeed, byzSeed + 1}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, protocol := range []string{"coin", "aba", "vba", "adkg", "election"} {
+		protocol := protocol
+		t.Run(protocol, func(t *testing.T) {
+			for _, seed := range seeds {
+				out, err := RunByzantine(
+					RunSpec{N: 4, F: -1, Seed: seed, Genesis: []byte("byz")},
+					protocol, []string{"byz/wire-garbage"})
+				if err != nil {
+					t.Fatalf("garbage peer vs %s (seed %d): %v", protocol, seed, err)
+				}
+				if protocol != "coin" && !out.Agreed {
+					t.Fatalf("garbage peer vs %s (seed %d): disagreement (%s)", protocol, seed, out.Decision)
+				}
+				if out.Stats.Rejected == 0 {
+					t.Fatalf("garbage peer vs %s (seed %d): nothing rejected", protocol, seed)
+				}
+			}
+		})
+	}
+}

@@ -90,6 +90,7 @@ func (t *tracker) stats() Stats {
 		Msgs: tl.Msgs, Bytes: tl.Bytes,
 		Rounds: t.rounds, Steps: t.c.Steps(), Verifies: t.c.Verifies(),
 		ScriptVerifies: t.c.ScriptVerifies(), RSOps: t.c.RSOps(),
+		Rejected: t.c.Rejected(), Equivocations: t.c.Equivocations(),
 	}
 }
 

@@ -58,6 +58,15 @@ type Stats struct {
 	// cached-basis decodes) driven by the run's AVID broadcasts — the
 	// erasure-coding data-plane counterpart of Verifies/ScriptVerifies.
 	RSOps int64
+	// Rejected counts messages honest parties dropped at receipt as
+	// malformed or cryptographically invalid — the detection counter the
+	// Byzantine-behavior specs assert on. Zero in honest runs.
+	Rejected int64
+	// Equivocations counts messages carrying proof that a sender lied:
+	// conflicting votes, double FINISHes, pinned-value flips. Stronger
+	// evidence than Rejected (garbage has no provable author; an
+	// equivocation does). Zero in honest runs.
+	Equivocations int64
 }
 
 func (s Stats) String() string {
@@ -103,6 +112,7 @@ func collectStats(c *harness.Cluster, rounds int) Stats {
 		Msgs: m.Honest.Msgs, Bytes: m.Honest.Bytes,
 		Rounds: rounds, Steps: c.Net.Steps(), Verifies: c.Verifies(),
 		ScriptVerifies: c.ScriptVerifies(), RSOps: c.RSOps(),
+		Rejected: c.Rejected(), Equivocations: c.Equivocations(),
 	}
 }
 

@@ -226,6 +226,25 @@ func (c *Cluster) Sever(from, to int) bool {
 	return false
 }
 
+// Rejected reports malformed messages dropped by protocol handlers
+// cluster-wide — the detection counter Byzantine-behavior specs assert on.
+func (c *Cluster) Rejected() int64 {
+	if c.Net != nil {
+		return c.Net.Metrics().Rejected
+	}
+	return c.Live.Rejected()
+}
+
+// Equivocations reports conflicting-message evidence recorded by protocol
+// handlers cluster-wide — proof of actively lying senders, as opposed to
+// Rejected's unattributable garbage.
+func (c *Cluster) Equivocations() int64 {
+	if c.Net != nil {
+		return c.Net.Metrics().Equivocations
+	}
+	return c.Live.Equivocations()
+}
+
 // Steps reports simulator deliveries so far (0 on the live runtime).
 func (c *Cluster) Steps() int64 {
 	if c.Net != nil {

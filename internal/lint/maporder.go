@@ -31,6 +31,7 @@ var MapOrder = &Analyzer{
 		"repro/internal/pki",
 		"repro/internal/crypto",
 		"repro/internal/baseline",
+		"repro/internal/adversary",
 	),
 	Run: runMapOrder,
 }

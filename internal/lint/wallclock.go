@@ -29,6 +29,7 @@ var WallClock = &Analyzer{
 		"repro/internal/pki",
 		"repro/internal/wire",
 		"repro/internal/baseline",
+		"repro/internal/adversary",
 	),
 	Run: runWallClock,
 }

@@ -191,10 +191,11 @@ type Node struct {
 	pending map[string][]task
 	closed  bool
 
-	rng      *rand.Rand // used only on the dispatcher goroutine
-	rejected atomic.Int64
-	done     sync.WaitGroup
-	crashed  bool
+	rng           *rand.Rand // used only on the dispatcher goroutine
+	rejected      atomic.Int64
+	equivocations atomic.Int64
+	done          sync.WaitGroup
+	crashed       bool
 }
 
 var _ proto.Runtime = (*Node)(nil)
@@ -349,6 +350,16 @@ func (nw *Network) Rejected() int64 {
 	return t
 }
 
+// Equivocations reports the total conflicting-message evidence recorded
+// across nodes.
+func (nw *Network) Equivocations() int64 {
+	var t int64
+	for _, nd := range nw.nodes {
+		t += nd.equivocations.Load()
+	}
+	return t
+}
+
 // Network's nodeEnv implementation (Node runs against either a full
 // Network or a single-party Party).
 func (nw *Network) partyCount() int { return nw.n }
@@ -386,6 +397,9 @@ func (nd *Node) RandReader() *rand.Rand { return nd.rng }
 
 // Reject counts a malformed inbound message.
 func (nd *Node) Reject() { nd.rejected.Add(1) }
+
+// Equivocation counts conflicting-message evidence against a sender.
+func (nd *Node) Equivocation() { nd.equivocations.Add(1) }
 
 // Register installs a handler and replays buffered messages for it.
 func (nd *Node) Register(inst string, h proto.Handler) {

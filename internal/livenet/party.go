@@ -191,6 +191,10 @@ func (p *Party) TCPStats() TCPStats {
 // Rejected reports malformed messages dropped by the protocol layer.
 func (p *Party) Rejected() int64 { return p.node.rejected.Load() }
 
+// Equivocations reports conflicting-message evidence recorded by the
+// protocol layer.
+func (p *Party) Equivocations() int64 { return p.node.equivocations.Load() }
+
 // Flush pushes buffered outbound frames to the wire — part of graceful
 // shutdown, so peers receive everything sent before exit.
 func (p *Party) Flush() { p.mesh.Flush() }

@@ -303,10 +303,11 @@ func (d *Daemon) stats() *Stats {
 	t := d.party.TotalTally()
 	tcp := d.party.TCPStats()
 	return &Stats{
-		Party:    d.self,
-		Msgs:     t.Msgs,
-		Bytes:    t.Bytes,
-		Rejected: d.party.Rejected(),
+		Party:         d.self,
+		Msgs:          t.Msgs,
+		Bytes:         t.Bytes,
+		Rejected:      d.party.Rejected(),
+		Equivocations: d.party.Equivocations(),
 
 		Frames:        tcp.Frames,
 		Syscalls:      tcp.Syscalls,

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"hash"
 
+	"repro/internal/adversary"
 	"repro/internal/core/aba"
 	"repro/internal/core/abc"
 	"repro/internal/core/adkg"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/core/coin"
 	"repro/internal/core/election"
 	"repro/internal/core/vba"
+	"repro/internal/proto"
 )
 
 // Default ledger workload shape (overridable per launch request).
@@ -35,7 +37,19 @@ func (d *Daemon) launch(req *Request) error {
 		genesis = []byte(req.Tag)
 	}
 	cfg := coin.Config{GenesisNonce: genesis}
-	rt, keys := d.party.Node(), d.ring
+	var rt proto.Runtime = d.party.Node()
+	keys := d.ring
+	if req.Byz != "" {
+		// This party runs the instance through a lying runtime: the state
+		// machine below stays the honest one, but its outbound messages
+		// pass through the named adversary behavior. The other processes
+		// detect (and survive) the lies over real TCP.
+		b, ok := adversary.Lookup(req.Byz)
+		if !ok {
+			return fmt.Errorf("noded: unknown adversary behavior %q", req.Byz)
+		}
+		rt = adversary.Wrap(rt, b)
+	}
 
 	switch req.Kind {
 	case "coin":
@@ -140,7 +154,7 @@ func (d *Daemon) launch(req *Request) error {
 		})
 
 	case "ledger":
-		return d.launchLedger(req, cfg)
+		return d.launchLedger(req, cfg, rt)
 
 	default:
 		return fmt.Errorf("noded: unknown instance kind %q", req.Kind)
@@ -182,7 +196,7 @@ func (l *ledgerLog) digest() string { return hex.EncodeToString(l.h.Sum(nil)) }
 // transactions. The log stays open until a drain request (or shutdown)
 // calls RequestStop on every party; the decision carries the final slot
 // and the ordered-log digest.
-func (d *Daemon) launchLedger(req *Request, cfg coin.Config) error {
+func (d *Daemon) launchLedger(req *Request, cfg coin.Config, rt proto.Runtime) error {
 	txCount, txBytes := req.TxCount, req.TxBytes
 	if txCount <= 0 {
 		txCount = defaultTxCount
@@ -196,7 +210,7 @@ func (d *Daemon) launchLedger(req *Request, cfg coin.Config) error {
 	}
 	pool := abc.NewMempool(2*txCount*txBytes + 1024)
 	log := newLedgerLog()
-	rt, keys, tag := d.party.Node(), d.ring, req.Tag
+	keys, tag := d.ring, req.Tag
 	ecfg := abc.EngineConfig{
 		Coin:        cfg,
 		BatchBytes:  req.BatchBytes,

@@ -38,6 +38,7 @@ type Request struct {
 	Input     []byte `json:"input,omitempty"`     // aba: input bit in [0]; vba: proposal
 	Predicate string `json:"predicate,omitempty"` // vba: "any" (default) or "prefix:<p>"
 	Epochs    int    `json:"epochs,omitempty"`    // beacon epoch count
+	Byz       string `json:"byz,omitempty"`       // adversary behavior name; this party lies
 
 	// ledger tunables (defaults in launchLedger)
 	TxCount     int  `json:"txCount,omitempty"`     // txs this party submits
@@ -97,6 +98,9 @@ type Stats struct {
 	Msgs     int64 `json:"msgs"`
 	Bytes    int64 `json:"bytes"`
 	Rejected int64 `json:"rejected"`
+	// Equivocations counts conflicting-message evidence this party's
+	// handlers recorded — proof a peer lied, vs Rejected's plain garbage.
+	Equivocations int64 `json:"equivocations,omitempty"`
 
 	Frames        int64 `json:"frames"`
 	Syscalls      int64 `json:"syscalls"`

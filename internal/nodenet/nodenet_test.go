@@ -137,6 +137,35 @@ func TestProcessClusterSurvivesConnectionKill(t *testing.T) {
 	}
 }
 
+// TestProcessClusterSurvivesByzantineParty runs the registered byz
+// workloads — a real OS process whose outbound protocol traffic lies
+// (internal/adversary wired through noded's launch path) — over live TCP.
+// The honest processes must reach identical decisions AND record nonzero
+// detection counters: an undetected liar fails the workload itself.
+func TestProcessClusterSurvivesByzantineParty(t *testing.T) {
+	cl := launchCluster(t, 24)
+	ran := 0
+	for _, w := range Workloads {
+		if w.Byz == "" {
+			continue
+		}
+		ran++
+		res, err := w.Run(cl)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", w.Name, err, cl.Logs())
+		}
+		if !res.Agreed {
+			t.Fatalf("%s: processes disagree under a lying party: %+v", w.Name, res.Decisions)
+		}
+	}
+	if ran < 2 {
+		t.Fatalf("only %d byz workloads registered; want at least 2 behaviors end-to-end over TCP", ran)
+	}
+	if err := cl.Stop(60 * time.Second); err != nil {
+		t.Fatalf("graceful stop: %v\n%s", err, cl.Logs())
+	}
+}
+
 // TestProcessClusterSIGTERMDrainsAndExitsZero launches an open streaming
 // ledger on every process and tears the cluster down with SIGTERM alone:
 // each daemon must drain the ledger (RequestStop, all-stop slot commits

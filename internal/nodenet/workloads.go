@@ -37,6 +37,14 @@ type Workload struct {
 
 	Agreement bool // decisions must be identical across processes
 	Sim       bool // decision must match the simulator for the same seed
+
+	// Byz names an adversary behavior run by the top-indexed party: that
+	// process's protocol instance lies on the wire (internal/adversary via
+	// noded's launch path). The run then additionally asserts that the
+	// cluster's detection counters (rejected + equivocations) fired —
+	// a lying process nobody caught fails the workload. Byz workloads are
+	// never Sim-pinned: the simulator reference run has no liar.
+	Byz string
 }
 
 // Workloads is the registry, in run order.
@@ -54,6 +62,10 @@ var Workloads = []Workload{
 	{Name: "adkg", Kind: "adkg", Genesis: "wl/k", Agreement: true},
 	{Name: "beacon", Kind: "beacon", Genesis: "wl/b", Epochs: 2, Agreement: true},
 	{Name: "ledger", Kind: "ledger", Genesis: "wl/l", TxCount: 16, TxBytes: 64, Agreement: true},
+	{Name: "vba-byz", Kind: "vba", Genesis: "wl/vz",
+		Input:     func(i int) []byte { return []byte(fmt.Sprintf("ok:p%d", i)) },
+		Predicate: "prefix:ok:", Agreement: true, Byz: "byz/vba-doublevote"},
+	{Name: "adkg-byz", Kind: "adkg", Genesis: "wl/kz", Agreement: true, Byz: "byz/pvss-badshare"},
 }
 
 // WorkloadByName resolves one registry entry.
@@ -94,6 +106,9 @@ func (w Workload) Run(cl *Cluster) (*WorkloadResult, error) {
 		if w.Input != nil {
 			req.Input = w.Input(i)
 		}
+		if w.Byz != "" && i == cl.N-1 {
+			req.Byz = w.Byz
+		}
 		return req
 	}
 	if _, err := cl.CallAll(launch, 30*time.Second); err != nil {
@@ -117,6 +132,20 @@ func (w Workload) Run(cl *Cluster) (*WorkloadResult, error) {
 	}
 	if w.Agreement && !res.Agreed {
 		return res, fmt.Errorf("workload %s: processes disagree: %+v", w.Name, decs)
+	}
+	if w.Byz != "" {
+		stats, err := cl.StatsAll()
+		if err != nil {
+			return res, fmt.Errorf("workload %s: stats: %w", w.Name, err)
+		}
+		var detected int64
+		for _, s := range stats {
+			detected += s.Rejected + s.Equivocations
+		}
+		if detected == 0 {
+			return res, fmt.Errorf("workload %s: party %d lied (%s) but no process detected it",
+				w.Name, cl.N-1, w.Byz)
+		}
 	}
 	if w.Sim {
 		simDec, err := w.SimDecision(cl.N, cl.F, cl.Seed)

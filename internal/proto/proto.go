@@ -53,6 +53,12 @@ type Runtime interface {
 	Multicast(inst string, body []byte)
 	// Reject records a malformed or mis-attributed inbound message.
 	Reject()
+	// Equivocation records cryptographic evidence that a sender lied — two
+	// conflicting messages where the protocol permits at most one (double
+	// votes, conflicting FINISH bits, pinned-value flips). Distinct from
+	// Reject: a rejected message is garbage, an equivocation is proof of a
+	// Byzantine sender.
+	Equivocation()
 }
 
 // Driver is the session-level contract over a runtime: it is what lets one

@@ -123,7 +123,11 @@ type Metrics struct {
 	Byz      Tally             // messages sent by corrupted parties (not part of the paper's cost)
 	PerInst  map[string]*Tally // honest traffic keyed by instance path
 	Rejected int64             // malformed/mis-attributed messages dropped by handlers
-	MaxDepth int               // largest causal depth processed
+	// Equivocations counts conflicting-message evidence recorded by
+	// handlers — proof of a Byzantine sender, as opposed to Rejected's
+	// unattributable garbage.
+	Equivocations int64
+	MaxDepth      int // largest causal depth processed
 }
 
 // ByInstance sums honest traffic whose instance path is tag itself or any
@@ -420,6 +424,9 @@ func (nw *Network) RunAll(maxSteps int64) error {
 // Reject records a malformed message dropped by a handler.
 func (nw *Network) Reject() { nw.metrics.Rejected++ }
 
+// Equivocation records conflicting-message evidence found by a handler.
+func (nw *Network) Equivocation() { nw.metrics.Equivocations++ }
+
 type pend struct {
 	env *Envelope
 }
@@ -490,3 +497,6 @@ func (nd *Node) Multicast(inst string, body []byte) {
 
 // Reject records a malformed inbound message.
 func (nd *Node) Reject() { nd.nw.Reject() }
+
+// Equivocation records conflicting-message evidence against a sender.
+func (nd *Node) Equivocation() { nd.nw.Equivocation() }

@@ -28,6 +28,27 @@ func FuzzWireReader(f *testing.F) {
 	f.Add([]byte{2, 2, 2, 2}, []byte{})              // reads off an empty message
 	f.Add([]byte{}, []byte{1, 2, 3})                 // trailing bytes for Done
 
+	// Shapes the byz/wire-garbage adversary feeds decoders in-protocol
+	// (internal/adversary): real frames truncated mid-field, bit-flipped
+	// in a length prefix, and extended with junk past a valid encoding.
+	var est Writer // ABA EST: tag, round, value — then truncated after round
+	est.Byte(1)
+	est.Int(1)
+	f.Add([]byte{0, 2, 0}, est.Bytes())
+	var pb Writer // VBA PBSend with its blob length prefix bit-flipped
+	pb.Byte(1)
+	pb.Int(1)
+	pb.Byte(1)
+	pb.Blob([]byte("ok:p0"))
+	pbBytes := pb.Bytes()
+	pbBytes[6] ^= 0x80
+	f.Add([]byte{0, 2, 0, 4, 1}, pbBytes)
+	var cd Writer // coin candidate plus a junk suffix Done must flag
+	cd.Bool(true)
+	cd.Int(2)
+	cd.Bytes32(make([]byte, 32))
+	f.Add([]byte{1, 2, 6}, append(cd.Bytes(), 0xfe, 0xed))
+
 	f.Fuzz(func(t *testing.T, ops, msg []byte) {
 		rd := NewReader(msg)
 		var latched error

@@ -243,6 +243,7 @@ func (c *Cluster) Stats() Stats {
 	return Stats{
 		Messages: t.Msgs, Bytes: t.Bytes, Rounds: 0,
 		Verifies: c.hc.Verifies(), ScriptVerifies: c.hc.ScriptVerifies(),
+		Rejected: c.hc.Rejected(), Equivocations: c.hc.Equivocations(),
 		Transport: TransportStats{
 			Frames: tcp.Frames, Syscalls: tcp.Syscalls, Dropped: tcp.Dropped,
 			Resends: tcp.Resends, Redials: tcp.Redials, BackoffResets: tcp.BackoffResets,
@@ -306,6 +307,15 @@ type Stats struct {
 	// cached-basis decodes) performed by the cluster's AVID broadcasts.
 	// Cluster-cumulative, like Verifies.
 	RSOps int64
+	// Rejected counts messages honest parties dropped at receipt as
+	// malformed or cryptographically invalid. Zero in honest runs; nonzero
+	// when a party is lying on the wire (the Byzantine behaviors of
+	// internal/adversary). Cluster-cumulative, like Verifies.
+	Rejected int64
+	// Equivocations counts messages carrying proof that a sender lied —
+	// two conflicting signed votes from the same party in the same round,
+	// a pinned-value conflict, a contradictory FINISH. Cluster-cumulative.
+	Equivocations int64
 	// Transport carries the live TCP transport's framing, reconnect, and
 	// WAN-emulation counters. All zero on the simulator and channels
 	// runtimes; cluster-cumulative on TCP.
@@ -334,7 +344,7 @@ func stats(s exp.Stats) Stats {
 	return Stats{
 		Messages: s.Msgs, Bytes: s.Bytes, Rounds: s.Rounds,
 		Verifies: s.Verifies, ScriptVerifies: s.ScriptVerifies,
-		RSOps: s.RSOps,
+		RSOps: s.RSOps, Rejected: s.Rejected, Equivocations: s.Equivocations,
 	}
 }
 
