@@ -8,8 +8,11 @@
 //	nodenet -n 4 -workloads election,vba-pinned,ledger
 //	nodenet -n 4 -workloads all -wan-delay 20ms -wan-jitter 5ms
 //	nodenet -n 4 -workloads election -sever 1:2   # kill a link mid-run
+//	nodenet -n 4 -workloads ledger -wal -restart 2   # SIGKILL+rejoin party 2
 //	nodenet -bench BENCH_wan.json                 # WAN matrix artifact
 //	nodenet -bench BENCH_wan.json -check          # regenerate + diff-gate
+//	nodenet -n 4 -chaos                           # seeded kill/restart sweep
+//	nodenet -n 7 -chaos -kills 2 -chaos-bench BENCH_chaos.json -check
 //
 // Exit status is nonzero on any agreement violation, sim mismatch, failed
 // workload, or (under -check) artifact drift.
@@ -38,8 +41,13 @@ func main() {
 	wanJitter := flag.Duration("wan-jitter", 0, "uniform WAN jitter")
 	wanLoss := flag.Float64("wan-loss", 0, "uniform WAN loss probability [0,1)")
 	sever := flag.String("sever", "", "kill one mesh connection mid-run, as from:to")
+	wal := flag.Bool("wal", false, "enable per-party write-ahead logs (crash recovery)")
+	restart := flag.Int("restart", -1, "SIGKILL this party mid-run and restart it from its WAL (needs -wal)")
+	chaos := flag.Bool("chaos", false, "run the seeded chaos kill/restart sweep instead of workloads")
+	kills := flag.Int("kills", 0, "with -chaos: kill/restart cycles (0 selects f)")
 	bench := flag.String("bench", "", "run the WAN benchmark matrix and write this artifact")
-	check := flag.Bool("check", false, "with -bench: fail if gated fields drift from the committed artifact")
+	chaosBench := flag.String("chaos-bench", "", "with -chaos: write the chaos artifact here")
+	check := flag.Bool("check", false, "with a bench artifact: fail if gated fields drift from the committed one")
 	flag.Parse()
 
 	if *bench != "" {
@@ -47,6 +55,29 @@ func main() {
 			fatal(err)
 		}
 		return
+	}
+	if *chaos {
+		opts := nodenet.ChaosOptions{N: *n, F: *f, Seed: *seed, BinPath: *bin, Kills: *kills}
+		if *chaosBench != "" {
+			if err := nodenet.RunChaosBench(*chaosBench, opts, *check); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		doc, err := nodenet.RunChaos(opts)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range doc.Rounds {
+			fmt.Printf("ok   %-14s txs=%d kills=%v elapsed=%dms set=%s\n",
+				r.Tag, r.Txs, r.Kills, r.ElapsedMS, r.TxSet[:16])
+		}
+		fmt.Printf("chaos restarts=%d replayedFrames=%d compactions=%d\n",
+			doc.Restarts, doc.ReplayedFrames, doc.WALCompactions)
+		return
+	}
+	if *restart >= 0 && !*wal {
+		fatal(fmt.Errorf("nodenet: -restart needs -wal (no journal to recover from)"))
 	}
 
 	var wan *livenet.WANProfile
@@ -57,7 +88,7 @@ func main() {
 	}
 	names := selectWorkloads(*workloads)
 	cl, err := nodenet.Launch(nodenet.Options{
-		N: *n, F: *f, Seed: *seed, BinPath: *bin, WAN: wan,
+		N: *n, F: *f, Seed: *seed, BinPath: *bin, WAN: wan, WAL: *wal,
 	})
 	if err != nil {
 		fatal(err)
@@ -80,6 +111,19 @@ func main() {
 			}
 			// Launch first, cut the link while the instance is in flight.
 			time.AfterFunc(50*time.Millisecond, func() { cl.Sever(from, to) })
+		}
+		if *restart >= 0 {
+			victim := *restart
+			// SIGKILL after launch lands, restart from the WAL, and only
+			// then let the workload drain/await — the restarted process
+			// must replay its journal, rejoin, and still reach agreement.
+			w.Mid = func() error {
+				time.Sleep(50 * time.Millisecond)
+				if err := cl.Kill(victim); err != nil {
+					return err
+				}
+				return cl.Restart(victim)
+			}
 		}
 		res, err := w.Run(cl)
 		if err != nil {

@@ -519,6 +519,62 @@ func TestMempoolTakeAndRequeueOrder(t *testing.T) {
 	}
 }
 
+// TestMempoolLeftoverCycleSurvivesStopRestart models the crash-recovery
+// leftover path (noded's WAL compaction and restart): a stopping party
+// requeues its excluded in-flight batch, closes the pool, harvests the
+// remainder with Take into a snapshot, and the restarted party Requeues
+// that remainder into a fresh pool. Submission order must survive the
+// whole cycle with nothing lost or duplicated, and the fresh pool must
+// still admit new submissions behind the restored front.
+func TestMempoolLeftoverCycleSurvivesStopRestart(t *testing.T) {
+	old := NewMempool(1 << 10)
+	for i := 0; i < 6; i++ {
+		if err := old.Submit(context.Background(), []byte(fmt.Sprintf("tx%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A dying slot hands its in-flight batch back before the stop.
+	inflight := old.Take(7) // "tx0"+"tx1" fill the bound
+	if len(inflight) != 2 {
+		t.Fatalf("in-flight take = %q", inflight)
+	}
+	old.Requeue(inflight)
+	old.Close()
+
+	// Harvest the leftovers the way tryCompact does: drain with Take so
+	// accounting hits zero, in front-to-back order.
+	var leftovers [][]byte
+	for {
+		batch := old.Take(1 << 20)
+		if len(batch) == 0 {
+			break
+		}
+		leftovers = append(leftovers, batch...)
+	}
+	if old.Bytes() != 0 || !old.Empty() {
+		t.Fatalf("stopped pool not drained: %d bytes", old.Bytes())
+	}
+
+	// Restart: restore into a fresh pool, then keep submitting behind it.
+	fresh := NewMempool(1 << 10)
+	fresh.Requeue(leftovers)
+	if fresh.Len() != 6 || fresh.Bytes() != 6*3 {
+		t.Fatalf("restored pool holds %d txs / %d bytes", fresh.Len(), fresh.Bytes())
+	}
+	if err := fresh.Submit(context.Background(), []byte("tx6")); err != nil {
+		t.Fatal(err)
+	}
+	all := fresh.Take(1 << 20)
+	if len(all) != 7 {
+		t.Fatalf("restarted pool delivered %d txs, want exactly-once 7", len(all))
+	}
+	for i, tx := range all {
+		if want := fmt.Sprintf("tx%d", i); string(tx) != want {
+			t.Fatalf("position %d = %q, want %q (order lost across stop/restart)", i, tx, want)
+		}
+	}
+}
+
 // --- satellite regression tests for the old slot-serial ABC ---
 
 // TestCommittedSnapshotIsDeepCopy: mutating a returned batch must not

@@ -21,6 +21,23 @@ func TestDroppedErr(t *testing.T) {
 	linttest.Run(t, lint.DroppedErr, "repro/internal/livenet/fixture", "testdata/src/droppederr")
 }
 
+// TestDroppedErrDurableFile pins the *os.File extension in the durability
+// packages' scope: a swallowed fsync (or write/truncate/close) in the WAL
+// path must be flagged.
+func TestDroppedErrDurableFile(t *testing.T) {
+	linttest.Run(t, lint.DroppedErr, "repro/internal/wal/fixture", "testdata/src/droppedfsync")
+}
+
+// TestDroppedErrFileScope checks the durable-file rule stays confined: the
+// same known-bad fsync fixture claimed under livenet (in droppederr's
+// network scope but not its durable-file scope) must stay silent.
+func TestDroppedErrFileScope(t *testing.T) {
+	diags := linttest.Analyze(t, lint.DroppedErr, "repro/internal/livenet/fixture", "testdata/src/droppedfsync")
+	if len(diags) != 0 {
+		t.Fatalf("durable-file rule fired outside wal/noded:\n%s", linttest.String(diags))
+	}
+}
+
 func TestWallClock(t *testing.T) {
 	linttest.Run(t, lint.WallClock, "repro/internal/sim/fixture", "testdata/src/wallclock")
 }
@@ -49,6 +66,7 @@ func TestHistoricalBugsCaught(t *testing.T) {
 		{"onseed-map-order-replay", lint.MapOrder, "repro/internal/core/fixture", "testdata/src/maporder", "onseed.go"},
 		{"aggshares-map-order-selection", lint.MapOrder, "repro/internal/core/fixture", "testdata/src/maporder", "aggshares.go"},
 		{"swallowed-conn-write", lint.DroppedErr, "repro/internal/livenet/fixture", "testdata/src/droppederr", "swallowedwrite.go"},
+		{"swallowed-wal-fsync", lint.DroppedErr, "repro/internal/wal/fixture", "testdata/src/droppedfsync", "swallowedfsync.go"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -17,16 +17,31 @@ import (
 // A call is considered network-facing when its receiver is a net.Conn
 // (anything implementing io.Writer with deadline/remote-addr methods), a
 // *bufio.Writer, or when it is fmt.Fprint* writing to such a value.
+//
+// In the durability packages (internal/wal and its consumer internal/noded)
+// the same rule extends to *os.File Write/WriteString/Sync/Close/Truncate:
+// a swallowed fsync error is a journal that claims durability it does not
+// have — recovery then replays from a WAL missing records the process
+// already acted on. Close is included because it is the last chance to
+// observe a delayed write-back error.
 var DroppedErr = &Analyzer{
 	Name: "droppederr",
-	Doc:  "network write/flush error silently discarded",
+	Doc:  "network write/flush or durable-file error silently discarded",
 	AppliesTo: ScopeUnder(
 		"repro/internal/livenet",
 		"repro/internal/noded",
 		"repro/internal/nodenet",
+		"repro/internal/wal",
 	),
 	Run: runDroppedErr,
 }
+
+// durableFileScope marks the packages where *os.File errors are load-bearing
+// for crash recovery (the WAL itself and the daemon that journals to it).
+var durableFileScope = ScopeUnder(
+	"repro/internal/wal",
+	"repro/internal/noded",
+)
 
 // writeMethods are the error-returning write-path methods we track.
 var writeMethods = map[string]bool{
@@ -38,14 +53,26 @@ var writeMethods = map[string]bool{
 	"ReadFrom":    true,
 }
 
+// fileMethods are the *os.File methods whose errors decide whether journaled
+// state actually reached the disk.
+var fileMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteAt":     true,
+	"Sync":        true,
+	"Close":       true,
+	"Truncate":    true,
+}
+
 func runDroppedErr(pass *Pass) {
 	info := pass.Pkg.Info
+	durable := durableFileScope(pass.Pkg.Path)
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch s := n.(type) {
 			case *ast.ExprStmt:
 				if call, ok := s.X.(*ast.CallExpr); ok {
-					if desc := networkWrite(info, call); desc != "" {
+					if desc := trackedWrite(info, call, durable); desc != "" {
 						pass.Reportf(call.Pos(), "%s error discarded; count it, log it once, or justify with //reprolint:ok", desc)
 					}
 				}
@@ -61,16 +88,16 @@ func runDroppedErr(pass *Pass) {
 				if !errorResultBlanked(info, s, call) {
 					return true
 				}
-				if desc := networkWrite(info, call); desc != "" {
+				if desc := trackedWrite(info, call, durable); desc != "" {
 					pass.Reportf(call.Pos(), "%s error assigned to _; count it, log it once, or justify with //reprolint:ok", desc)
 				}
 				return false
 			case *ast.GoStmt:
-				if desc := networkWrite(info, s.Call); desc != "" {
+				if desc := trackedWrite(info, s.Call, durable); desc != "" {
 					pass.Reportf(s.Call.Pos(), "%s launched as a goroutine discards its error", desc)
 				}
 			case *ast.DeferStmt:
-				if desc := networkWrite(info, s.Call); desc != "" {
+				if desc := trackedWrite(info, s.Call, durable); desc != "" {
 					pass.Reportf(s.Call.Pos(), "deferred %s discards its error; flush explicitly on the success path", desc)
 				}
 			}
@@ -101,6 +128,32 @@ func errorResultBlanked(info *types.Info, s *ast.AssignStmt, call *ast.CallExpr)
 		}
 	}
 	return false
+}
+
+// trackedWrite describes the call when its discarded error matters: a
+// network-facing write or flush always, a *os.File write/sync/close when
+// durable is set (wal + noded). Returns "" otherwise.
+func trackedWrite(info *types.Info, call *ast.CallExpr, durable bool) string {
+	if durable {
+		if recv, name, ok := methodCall(info, call); ok && fileMethods[name] {
+			if t := info.TypeOf(recv); typeIs(t, "os.File") {
+				if errorLast(info, call) {
+					return "*os.File." + name
+				}
+			}
+		}
+	}
+	return networkWrite(info, call)
+}
+
+// errorLast reports whether the call's last result is an error.
+func errorLast(info *types.Info, call *ast.CallExpr) bool {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	return types.Identical(sig.Results().At(sig.Results().Len()-1).Type(), errType)
 }
 
 // networkWrite describes the call when it is a network-facing write or

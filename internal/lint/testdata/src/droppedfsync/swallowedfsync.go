@@ -1,0 +1,59 @@
+// Fixture for droppederr's durable-file extension: in the WAL packages a
+// discarded *os.File write/sync/close error lets a journal claim
+// durability it does not have — the swallowed-fsync shape below is the
+// exact bug class the extension exists to ban. Handled errors and
+// non-durable writers must stay quiet.
+package fixture
+
+import (
+	"bytes"
+	"os"
+)
+
+// The known-bad shape: append a record, "fsync", return — a failed sync
+// leaves the record in the page cache only, and a crash recovers a WAL
+// missing state the process already acted on.
+func swallowedFsyncAppend(f *os.File, rec []byte) error {
+	if _, err := f.Write(rec); err != nil {
+		return err
+	}
+	f.Sync() // want `\*os.File.Sync error discarded`
+	return nil
+}
+
+func blankedWrite(f *os.File, rec []byte) {
+	_, _ = f.Write(rec) // want `\*os.File.Write error assigned to _`
+}
+
+func bareTruncate(f *os.File) {
+	f.Truncate(0) // want `\*os.File.Truncate error discarded`
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // want `deferred \*os.File.Close discards its error`
+}
+
+func goSync(f *os.File) {
+	go f.Sync() // want `launched as a goroutine discards its error`
+}
+
+// Allowed: every error observed.
+func checkedSyncClose(f *os.File, rec []byte) error {
+	if _, err := f.Write(rec); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Allowed: a bytes.Buffer is not a durable file.
+func bufferWrite(buf *bytes.Buffer, b []byte) {
+	buf.Write(b)
+}
+
+// Allowed: Name returns no error; only error-returning methods count.
+func fileName(f *os.File) string {
+	return f.Name()
+}

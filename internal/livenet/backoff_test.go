@@ -1,0 +1,82 @@
+package livenet
+
+import (
+	mrand "math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffCapAndJitter pins the redial-backoff contract: intervals grow
+// from the minimum, never exceed the maximum even with jitter applied, stay
+// at (or near) the cap once reached, and never fall below the minimum.
+func TestBackoffCapAndJitter(t *testing.T) {
+	const (
+		min = 25 * time.Millisecond
+		max = 1 * time.Second
+	)
+	for seed := int64(0); seed < 50; seed++ {
+		rng := mrand.New(mrand.NewSource(seed))
+		cur := min
+		hitCap := false
+		for step := 0; step < 64; step++ {
+			cur = nextBackoff(cur, min, max, rng)
+			if cur > max {
+				t.Fatalf("seed %d step %d: backoff %v exceeds cap %v", seed, step, cur, max)
+			}
+			if cur < min {
+				t.Fatalf("seed %d step %d: backoff %v below floor %v", seed, step, cur, min)
+			}
+			// Jitter is at most ±25%, so once past max/2 doubling always
+			// lands in the cap's jitter band.
+			if cur >= 3*max/4 {
+				hitCap = true
+			}
+		}
+		if !hitCap {
+			t.Fatalf("seed %d: backoff never approached the cap (final %v)", seed, cur)
+		}
+	}
+}
+
+// TestBackoffJitterSpreads: two links seeded differently must not redial in
+// lockstep — at least one step of their backoff schedules differs.
+func TestBackoffJitterSpreads(t *testing.T) {
+	sched := func(seed int64) []time.Duration {
+		rng := mrand.New(mrand.NewSource(seed))
+		cur := 25 * time.Millisecond
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			cur = nextBackoff(cur, 25*time.Millisecond, time.Second, rng)
+			out = append(out, cur)
+		}
+		return out
+	}
+	a, b := sched(1), sched(2)
+	for i := range a {
+		if a[i] != b[i] {
+			return
+		}
+	}
+	t.Fatal("differently seeded links produced identical backoff schedules")
+}
+
+// TestBackoffDeterministic: the same seed replays the same schedule (the
+// chaos harness depends on every retry timetable being reproducible).
+func TestBackoffDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		rng := mrand.New(mrand.NewSource(42))
+		cur := 5 * time.Millisecond
+		var out []time.Duration
+		for i := 0; i < 12; i++ {
+			cur = nextBackoff(cur, 5*time.Millisecond, 500*time.Millisecond, rng)
+			out = append(out, cur)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

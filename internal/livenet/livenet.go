@@ -173,6 +173,7 @@ type nodeEnv interface {
 type task struct {
 	// Either a message…
 	from int
+	seq  uint64 // link sequence (0 for self-sends and the Channels fabric)
 	inst string
 	body []byte
 	// …or a job.
@@ -184,12 +185,20 @@ type Node struct {
 	env nodeEnv
 	idx int
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []task
-	insts   map[string]proto.Handler
-	pending map[string][]task
-	closed  bool
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []task
+	insts      map[string]proto.Handler
+	pending    map[string][]task
+	tombstones []string
+	closed     bool
+
+	// journal, when set (before the transport connects), observes every
+	// message task at the moment it is processed — the write-ahead record a
+	// durable daemon appends before effects escape. Processing order, not
+	// arrival order: parked frames are journaled when their handler finally
+	// runs, which is the order a replay can reproduce.
+	journal func(from int, seq uint64, inst string, body []byte)
 
 	rng           *rand.Rand // used only on the dispatcher goroutine
 	rejected      atomic.Int64
@@ -307,6 +316,26 @@ func (nw *Network) TCPStats() TCPStats {
 		WANLosses:     agg.WANLosses,
 	}
 }
+
+// RecoveryStats counts one party's WAL-backed crash-recovery activity. It
+// is populated by a durable daemon (noded) after replaying its journal;
+// in-process runtimes, which keep no journal, report zeros.
+type RecoveryStats struct {
+	Restarts        int64 // recoveries from a non-empty journal (0 or 1 per process)
+	ReplayedRecords int64 // journal records replayed at startup
+	ReplayedFrames  int64 // …of which inbound/self message frames
+	ReplayedOps     int64 // …of which instance launches and drains
+	SelfMismatches  int64 // replay self-sends diverging from the journal
+	TruncatedBytes  int64 // torn journal tail dropped on open
+	WALAppends      int64 // records appended this process lifetime
+	WALSyncs        int64 // fsync batches committed
+	Compactions     int64 // snapshot+compaction cycles
+	SnapshotBytes   int64 // size of the live snapshot base
+}
+
+// RecoveryStats reports zeros: the in-process runtime keeps no journal
+// (crash recovery is a multi-process concern; see internal/noded).
+func (nw *Network) RecoveryStats() RecoveryStats { return RecoveryStats{} }
 
 // PeerDrops reports the frames charged against the (from, to) link: frames
 // dropped to outbox overflow on the sender side, plus inbound handshakes at
@@ -445,14 +474,73 @@ func (nd *Node) Do(fn func()) {
 }
 
 // enqueue appends an inbound message (called by transports).
-func (nd *Node) enqueue(from int, inst string, body []byte) {
+func (nd *Node) enqueue(from int, seq uint64, inst string, body []byte) {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	if nd.closed || nd.crashed {
 		return
 	}
-	nd.queue = append(nd.queue, task{from: from, inst: inst, body: body})
+	nd.queue = append(nd.queue, task{from: from, seq: seq, inst: inst, body: body})
 	nd.cond.Broadcast()
+}
+
+// SetJournal installs the write-ahead observer. It must be set before the
+// transport connects (the hook is read on the dispatcher without a lock).
+func (nd *Node) SetJournal(fn func(from int, seq uint64, inst string, body []byte)) {
+	nd.journal = fn
+}
+
+// Tombstone marks an instance path prefix as retired by a compaction
+// snapshot: straggler frames for it (or any sub-path) are journaled — so
+// the recv cursor advances past them and they can be acked — and dropped
+// instead of parking forever waiting for a handler that will never
+// re-register.
+func (nd *Node) Tombstone(prefix string) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.tombstones = append(nd.tombstones, prefix)
+	// Frames already parked under the prefix are retired the same way on
+	// their next dispatch; re-queue them so that happens promptly.
+	for inst, buf := range nd.pending {
+		if inst == prefix || strings.HasPrefix(inst, prefix+"/") {
+			nd.queue = append(nd.queue, buf...)
+			delete(nd.pending, inst)
+		}
+	}
+	nd.cond.Broadcast()
+}
+
+// tombstonedLocked reports whether inst falls under a retired prefix.
+func (nd *Node) tombstonedLocked(inst string) bool {
+	for _, p := range nd.tombstones {
+		if inst == p || strings.HasPrefix(inst, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Replay re-processes one journaled message on the dispatcher goroutine —
+// the recovery path's direct-injection hook, called only from inside a
+// Party.Replay critical section. It bypasses the queue, the journal hook
+// (the record is already durable) and transport dedup (the WAL is the
+// authority on what was processed). A record whose handler is not yet
+// registered parks like a live frame and reports false.
+func (nd *Node) Replay(from int, seq uint64, inst string, body []byte) bool {
+	nd.mu.Lock()
+	if nd.tombstonedLocked(inst) {
+		nd.mu.Unlock()
+		return false
+	}
+	h, ok := nd.insts[inst]
+	if !ok {
+		nd.pending[inst] = append(nd.pending[inst], task{from: from, seq: seq, inst: inst, body: body})
+		nd.mu.Unlock()
+		return false
+	}
+	nd.mu.Unlock()
+	h.Handle(from, body)
+	return true
 }
 
 // dispatch is the node's event loop.
@@ -480,19 +568,30 @@ func (nd *Node) dispatch() {
 		t := nd.queue[0]
 		nd.queue = nd.queue[1:]
 		var h proto.Handler
+		tombstoned := false
 		if t.fn == nil {
-			var ok bool
-			h, ok = nd.insts[t.inst]
-			if !ok {
-				nd.pending[t.inst] = append(nd.pending[t.inst], t)
-				nd.mu.Unlock()
-				continue
+			if tombstoned = nd.tombstonedLocked(t.inst); !tombstoned {
+				var ok bool
+				h, ok = nd.insts[t.inst]
+				if !ok {
+					nd.pending[t.inst] = append(nd.pending[t.inst], t)
+					nd.mu.Unlock()
+					continue
+				}
 			}
 		}
 		nd.mu.Unlock()
 		if t.fn != nil {
 			t.fn()
-		} else {
+			continue
+		}
+		// Journal at processing time: this is the order a replay can
+		// reproduce (parking reorders arrival), and a tombstoned straggler
+		// is journaled too so its sequence becomes ackable.
+		if nd.journal != nil {
+			nd.journal(t.from, t.seq, t.inst, t.body)
+		}
+		if !tombstoned {
 			h.Handle(t.from, t.body)
 		}
 	}
@@ -508,10 +607,10 @@ type chanTransport struct {
 func (c *chanTransport) send(from, to int, inst string, body []byte) {
 	b := append([]byte(nil), body...)
 	if d := c.nw.jitterDelay(c.jitter); d > 0 {
-		time.AfterFunc(d, func() { c.nw.nodes[to].enqueue(from, inst, b) })
+		time.AfterFunc(d, func() { c.nw.nodes[to].enqueue(from, 0, inst, b) })
 		return
 	}
-	c.nw.nodes[to].enqueue(from, inst, b)
+	c.nw.nodes[to].enqueue(from, 0, inst, b)
 }
 
 func (c *chanTransport) flush(int) {}

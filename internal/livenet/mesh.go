@@ -38,16 +38,28 @@ import (
 // An optional per-link WANProfile emulates wide-area conditions in
 // userspace: inbound frames are held for a seeded sampled one-way delay
 // (plus jitter and loss-as-retransmission latency) before delivery.
+//
+// For crash recovery a Mesh can resume from journaled cursors (Resume),
+// gate its cumulative acks on what the owner has made durable (GateAcks +
+// SetJournaled), and run a write barrier before any byte reaches a socket
+// (BeforeWrite) — together these give the write-ahead invariant a durable
+// daemon needs: no frame escapes this process before the journal records
+// that caused it are on disk, and no peer discards a frame we would lose
+// by crashing.
 type Mesh struct {
 	self, n int
 	key     sig.PrivateKey
 	board   []sig.PublicKey
-	deliver func(from int, inst string, body []byte)
+	deliver func(from int, seq uint64, inst string, body []byte)
 
 	ln    net.Listener
 	out   []*outLink // indexed by destination; nil at self
 	in    []*inLink  // indexed by source; nil at self
 	peers []string
+
+	seed        int64
+	gateAcks    bool
+	beforeWrite func() error
 
 	flushEvery time.Duration
 	backoffMin time.Duration
@@ -60,6 +72,25 @@ type Mesh struct {
 	wg        sync.WaitGroup
 }
 
+// Resume carries the durable per-peer link cursors a restarted party
+// recovered from its journal, so the mesh rejoins exactly where the dead
+// process left off instead of renumbering from zero.
+type Resume struct {
+	// Send[i] is the last sequence number this party assigned on the
+	// (self → i) link that the journal's snapshot base covers; regenerated
+	// sends continue from Send[i]+1 and peers drop the already-delivered
+	// prefix by seq dedup.
+	Send []uint64
+	// Recv[i] is the highest contiguous inbound sequence from peer i whose
+	// processing was journaled; frames at or below it are duplicates.
+	Recv []uint64
+	// Sparse[i] lists journaled inbound sequences from peer i above
+	// Recv[i] — frames processed out of arrival order (handler parking)
+	// whose lower neighbours died unjournaled. They are duplicates too;
+	// the frontier absorbs them as the peer refills the gaps.
+	Sparse [][]uint64
+}
+
 // MeshConfig configures one party's mesh endpoint.
 type MeshConfig struct {
 	// Self is this party's index; N is the total party count.
@@ -69,13 +100,28 @@ type MeshConfig struct {
 	// Key signs the transport handshake; Board (length N) verifies peers.
 	Key   sig.PrivateKey
 	Board []sig.PublicKey
-	// Deliver receives every inbound protocol frame (and self-sends). It is
-	// called from transport goroutines and must not block for long.
-	Deliver func(from int, inst string, body []byte)
+	// Deliver receives every inbound protocol frame (and self-sends, which
+	// carry seq 0). seq is the frame's link sequence number — the durable
+	// identity a journaling owner records. Deliver is called from transport
+	// goroutines and must not block for long.
+	Deliver func(from int, seq uint64, inst string, body []byte)
 	// WAN optionally emulates per-link wide-area conditions on inbound
-	// frames; Seed makes the emulation replayable.
+	// frames; Seed makes the emulation replayable (and seeds redial
+	// jitter).
 	WAN  *WANProfile
 	Seed int64
+	// Resume restores per-peer link cursors from a journal (nil = fresh
+	// start at zero).
+	Resume *Resume
+	// GateAcks caps outgoing cumulative acks at the journaled cursor
+	// published via SetJournaled: a peer must not discard a frame this
+	// party would lose by crashing before its fsync.
+	GateAcks bool
+	// BeforeWrite, when set, runs before any byte is written to an
+	// outbound data socket — the write-ahead barrier (typically the
+	// journal's Sync). A barrier error fails the write; the link retires
+	// the connection and the outbox resend recovers the frames.
+	BeforeWrite func() error
 	// FlushEvery bounds coalescing-buffer latency and ack latency
 	// (0 selects defaultFlushEvery).
 	FlushEvery time.Duration
@@ -109,13 +155,23 @@ const (
 const tcpWriteBuffer = 64 * 1024
 
 // countingConn counts the Write calls that actually reach the socket —
-// the syscall side of the frames-per-syscall coalescing metric.
+// the syscall side of the frames-per-syscall coalescing metric — and runs
+// the owner's write-ahead barrier first: no frame byte may reach the wire
+// before the journal records that caused it are durable. A barrier failure
+// fails the write, which retires the connection; the retained outbox makes
+// that a delay, not a loss.
 type countingConn struct {
 	net.Conn
+	before func() error
 	writes atomic.Int64
 }
 
 func (c *countingConn) Write(p []byte) (int, error) {
+	if c.before != nil {
+		if err := c.before(); err != nil {
+			return 0, fmt.Errorf("write barrier: %w", err)
+		}
+	}
 	c.writes.Add(1)
 	return c.Conn.Write(p)
 }
@@ -164,7 +220,11 @@ type outFrame struct {
 
 // inLink is the receiving half of one directed link (from → self): the
 // highest contiguous sequence delivered (duplicates below it are dropped),
-// the pending cumulative ack, and the optional WAN delay line.
+// the pending cumulative ack, and the optional WAN delay line. After a
+// crash recovery, sparse holds journaled sequences above the contiguous
+// frontier — processed-out-of-order frames whose lower neighbours died
+// unjournaled — so the resent gap frames deliver exactly once while the
+// already-journaled ones drop as duplicates.
 type inLink struct {
 	from int
 
@@ -172,10 +232,12 @@ type inLink struct {
 	conn      net.Conn // current inbound connection (ack channel)
 	lastSeq   uint64
 	lastAcked uint64
+	sparse    map[uint64]struct{}
 
-	dups        atomic.Int64 // duplicate frames dropped after reconnect
-	authRejects atomic.Int64 // handshakes rejected claiming this identity
-	wan         *wanLink     // nil when the link profile is zero
+	journaled   atomic.Uint64 // owner-published durable cursor (ack cap)
+	dups        atomic.Int64  // duplicate frames dropped after reconnect
+	authRejects atomic.Int64  // handshakes rejected claiming this identity
+	wan         *wanLink      // nil when the link profile is zero
 }
 
 // NewMesh binds the data listener and starts accepting authenticated peer
@@ -200,19 +262,22 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 		return nil, fmt.Errorf("livenet: mesh listen: %w", err)
 	}
 	m := &Mesh{
-		self:       cfg.Self,
-		n:          cfg.N,
-		key:        cfg.Key,
-		board:      cfg.Board,
-		deliver:    cfg.Deliver,
-		ln:         ln,
-		out:        make([]*outLink, cfg.N),
-		in:         make([]*inLink, cfg.N),
-		flushEvery: cfg.FlushEvery,
-		backoffMin: cfg.BackoffMin,
-		backoffMax: cfg.BackoffMax,
-		outboxCap:  cfg.OutboxFrames,
-		stopc:      make(chan struct{}),
+		self:        cfg.Self,
+		n:           cfg.N,
+		key:         cfg.Key,
+		board:       cfg.Board,
+		deliver:     cfg.Deliver,
+		ln:          ln,
+		out:         make([]*outLink, cfg.N),
+		in:          make([]*inLink, cfg.N),
+		seed:        cfg.Seed,
+		gateAcks:    cfg.GateAcks,
+		beforeWrite: cfg.BeforeWrite,
+		flushEvery:  cfg.FlushEvery,
+		backoffMin:  cfg.BackoffMin,
+		backoffMax:  cfg.BackoffMax,
+		outboxCap:   cfg.OutboxFrames,
+		stopc:       make(chan struct{}),
 	}
 	if m.flushEvery <= 0 {
 		m.flushEvery = defaultFlushEvery
@@ -230,16 +295,33 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 		if i == cfg.Self {
 			continue
 		}
-		m.out[i] = &outLink{to: i}
-		il := &inLink{from: i}
+		ol := &outLink{to: i}
+		il := &inLink{from: i, sparse: make(map[uint64]struct{})}
+		if r := cfg.Resume; r != nil {
+			if i < len(r.Send) {
+				ol.nextSeq = r.Send[i]
+			}
+			if i < len(r.Recv) {
+				il.lastSeq = r.Recv[i]
+				il.journaled.Store(r.Recv[i])
+			}
+			if i < len(r.Sparse) {
+				for _, s := range r.Sparse[i] {
+					if s > il.lastSeq {
+						il.sparse[s] = struct{}{}
+					}
+				}
+			}
+		}
 		if lp := cfg.WAN.Link(i, cfg.Self); !lp.zero() {
 			from := i
 			il.wan = &wanLink{
 				profile: lp,
 				rng:     mrand.New(mrand.NewSource(linkSeed(cfg.Seed, i, cfg.Self))),
-				deliver: func(inst string, body []byte) { m.deliver(from, inst, body) },
+				deliver: func(seq uint64, inst string, body []byte) { m.deliver(from, seq, inst, body) },
 			}
 		}
+		m.out[i] = ol
 		m.in[i] = il
 	}
 	m.wg.Add(1)
@@ -283,7 +365,9 @@ func (m *Mesh) Send(to int, inst string, body []byte) {
 		return
 	}
 	if to == m.self {
-		m.deliver(m.self, inst, append([]byte(nil), body...))
+		// Self-sends never cross the wire; they carry seq 0 and are
+		// journaled (and replayed) by body order, not link order.
+		m.deliver(m.self, 0, inst, append([]byte(nil), body...))
 		return
 	}
 	l := m.out[to]
@@ -371,10 +455,32 @@ func (m *Mesh) Sever(to int) bool {
 
 // --- dialing, handshake, acks ---
 
+// nextBackoff advances one redial-backoff step: double the current
+// interval, clamp to [min, max], then apply ±25% jitter (re-clamped) so a
+// cluster of parties redialing one dead peer does not thunder in lockstep.
+// The cap holds under jitter: no returned interval ever exceeds max.
+func nextBackoff(cur, min, max time.Duration, rng *mrand.Rand) time.Duration {
+	next := cur * 2
+	if next > max {
+		next = max
+	}
+	if rng != nil && next >= 4 {
+		next += time.Duration(rng.Int63n(int64(next/2)+1)) - next/4
+	}
+	if next < min {
+		next = min
+	}
+	if next > max {
+		next = max
+	}
+	return next
+}
+
 func (m *Mesh) dialLoop(l *outLink, addr string) {
 	defer m.wg.Done()
 	backoff := m.backoffMin
 	grew := false
+	rng := mrand.New(mrand.NewSource(linkSeed(m.seed^0x6261636b6f6666, m.self, l.to))) // "backoff"
 	for {
 		if m.closed.Load() {
 			return
@@ -389,10 +495,7 @@ func (m *Mesh) dialLoop(l *outLink, addr string) {
 				return
 			case <-time.After(backoff):
 			}
-			backoff *= 2
-			if backoff > m.backoffMax {
-				backoff = m.backoffMax
-			}
+			backoff = nextBackoff(backoff, m.backoffMin, m.backoffMax, rng)
 			grew = true
 			continue
 		}
@@ -452,7 +555,7 @@ func (m *Mesh) dialAndHandshake(addr string, to int) (net.Conn, error) {
 // attach installs a fresh connection on the link and resends the unacked
 // outbox, in sequence order, so the receiver's dedup sees a contiguous run.
 func (m *Mesh) attach(l *outLink, conn net.Conn) {
-	cc := &countingConn{Conn: conn}
+	cc := &countingConn{Conn: conn, before: m.beforeWrite}
 	l.mu.Lock()
 	if m.closed.Load() {
 		// Close already swept this link's connection slot; installing now
@@ -565,19 +668,34 @@ func (m *Mesh) serveConn(conn net.Conn) {
 			return
 		}
 		il.mu.Lock()
-		if seq != il.lastSeq+1 {
-			// Duplicate (or superseded-connection replay) from a resync.
-			il.mu.Unlock()
+		deliverable := seq == il.lastSeq+1
+		if deliverable {
+			il.lastSeq = seq
+			// Absorb journaled out-of-order sequences now contiguous with
+			// the frontier: the resent gap frame just delivered, and the
+			// frames above it were already processed (and journaled) by the
+			// previous incarnation, so they stay duplicates.
+			for {
+				if _, ok := il.sparse[il.lastSeq+1]; !ok {
+					break
+				}
+				delete(il.sparse, il.lastSeq+1)
+				il.lastSeq++
+			}
+		}
+		il.mu.Unlock()
+		if !deliverable {
+			// Below the frontier, inside the sparse set, or a hole a
+			// byzantine sender skipped: either way a duplicate or
+			// undeliverable — drop, never double-deliver.
 			il.dups.Add(1)
 			continue
 		}
-		il.lastSeq = seq
-		il.mu.Unlock()
 		inst, body := string(buf[:instLen]), buf[instLen:]
 		if il.wan != nil {
-			il.wan.push(inst, body)
+			il.wan.push(seq, inst, body)
 		} else {
-			m.deliver(from, inst, body)
+			m.deliver(from, seq, inst, body)
 		}
 	}
 }
@@ -652,18 +770,90 @@ func (m *Mesh) timerLoop() {
 
 func (m *Mesh) ackLink(il *inLink) {
 	il.mu.Lock()
-	if il.conn != nil && il.lastSeq > il.lastAcked {
+	ack := il.lastSeq
+	if m.gateAcks {
+		// A cumulative ack licenses the peer to discard its copies. Cap it
+		// at the journaled cursor: a delivered-but-unjournaled frame dies
+		// with a crash, and only the peer's retained copy can refill it.
+		if j := il.journaled.Load(); j < ack {
+			ack = j
+		}
+	}
+	if il.conn != nil && ack > il.lastAcked {
 		var f [9]byte
 		f[0] = frameAck
-		binary.BigEndian.PutUint64(f[1:], il.lastSeq)
+		binary.BigEndian.PutUint64(f[1:], ack)
 		if _, err := il.conn.Write(f[:]); err != nil {
 			_ = il.conn.Close()
 			il.conn = nil
 		} else {
-			il.lastAcked = il.lastSeq
+			il.lastAcked = ack
 		}
 	}
 	il.mu.Unlock()
+}
+
+// --- recovery hooks ---
+
+// SetJournaled publishes the highest contiguous inbound sequence from peer
+// `from` whose processing the owner has made durable. With GateAcks set,
+// cumulative acks never exceed it. The cursor is monotone.
+func (m *Mesh) SetJournaled(from int, seq uint64) {
+	if from < 0 || from >= m.n || m.in[from] == nil {
+		return
+	}
+	il := m.in[from]
+	for {
+		cur := il.journaled.Load()
+		if seq <= cur || il.journaled.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// SendCursors snapshots the per-destination next-send sequence numbers —
+// the send side of a compaction snapshot. Index self is zero.
+func (m *Mesh) SendCursors() []uint64 {
+	out := make([]uint64, m.n)
+	for i, l := range m.out {
+		if l == nil {
+			continue
+		}
+		l.mu.Lock()
+		out[i] = l.nextSeq
+		l.mu.Unlock()
+	}
+	return out
+}
+
+// Settled reports whether the transport holds no state a compaction
+// snapshot would miss: every outbox is empty (all sent frames acked and
+// discardable) and no inbound link still has out-of-order journaled
+// sequences waiting for gap refills.
+func (m *Mesh) Settled() bool {
+	for _, l := range m.out {
+		if l == nil {
+			continue
+		}
+		l.mu.Lock()
+		pending := len(l.outbox) > 0 || (l.bw != nil && l.bw.Buffered() > 0)
+		l.mu.Unlock()
+		if pending {
+			return false
+		}
+	}
+	for _, il := range m.in {
+		if il == nil {
+			continue
+		}
+		il.mu.Lock()
+		holes := len(il.sparse) > 0
+		il.mu.Unlock()
+		if holes {
+			return false
+		}
+	}
+	return true
 }
 
 // --- stats, shutdown ---

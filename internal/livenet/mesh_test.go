@@ -96,7 +96,7 @@ func TestMeshOutboxOverflowDrops(t *testing.T) {
 	m, err := NewMesh(MeshConfig{
 		Self: 0, N: 2,
 		Key: auth.Keys[0], Board: auth.Board,
-		Deliver:      func(int, string, []byte) {},
+		Deliver:      func(int, uint64, string, []byte) {},
 		OutboxFrames: 8,
 		BackoffMin:   time.Millisecond, BackoffMax: 10 * time.Millisecond,
 	})
@@ -190,7 +190,7 @@ func TestWANLinkPreservesFIFO(t *testing.T) {
 	l := &wanLink{
 		profile: LinkProfile{Jitter: 3 * time.Millisecond},
 		rng:     mrand.New(mrand.NewSource(1)),
-		deliver: func(_ string, body []byte) {
+		deliver: func(_ uint64, _ string, body []byte) {
 			mu.Lock()
 			order = append(order, body[0])
 			if len(order) == frames {
@@ -200,7 +200,7 @@ func TestWANLinkPreservesFIFO(t *testing.T) {
 		},
 	}
 	for i := 0; i < frames; i++ {
-		l.push("x", []byte{byte(i)})
+		l.push(uint64(i+1), "x", []byte{byte(i)})
 	}
 	select {
 	case <-done:

@@ -8,10 +8,12 @@ package livenet
 // dispatcher code runs in both deployment shapes.
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/crypto/sig"
@@ -41,6 +43,28 @@ type PartyConfig struct {
 	BackoffMin, BackoffMax time.Duration
 	// OutboxFrames caps per-link unacked-frame retention (0 = default).
 	OutboxFrames int
+
+	// Journal, when set, observes every message the dispatcher processes
+	// (the daemon's write-ahead hook; see Node.SetJournal).
+	Journal func(from int, seq uint64, inst string, body []byte)
+	// GateAcks caps mesh acks at the journaled cursor (see MeshConfig).
+	GateAcks bool
+	// BeforeWrite is the mesh write-ahead barrier (see MeshConfig).
+	BeforeWrite func() error
+	// Resume restores mesh link cursors from a journal (nil = fresh).
+	Resume *Resume
+	// Hold blocks peer-frame delivery until Release — the recovery window
+	// in which the journal is replayed. Inbound connections are accepted
+	// (TCP backpressure holds the frames); self-sends and Do jobs pass.
+	Hold bool
+}
+
+// capturedSelf is one self-send generated while replaying the journal; it
+// is matched against the journal's own self-frame records instead of being
+// re-enqueued, so replay consumes rather than re-creates them.
+type capturedSelf struct {
+	inst string
+	body []byte
 }
 
 // Party is a running single-party runtime.
@@ -52,6 +76,19 @@ type Party struct {
 	mmu     sync.Mutex
 	total   Tally
 	perInst map[string]*Tally
+
+	gate        chan struct{} // nil unless Hold; closed by Release
+	releaseOnce sync.Once
+
+	// Replay state: written only on the dispatcher goroutine, inside the
+	// Replay critical section (the mismatch counter is atomic so Stats
+	// RPCs can read it later).
+	replaying      bool
+	selfCaptured   []capturedSelf
+	selfMismatches atomic.Int64
+
+	rmu      sync.Mutex
+	recovery RecoveryStats
 
 	closeOnce sync.Once
 }
@@ -79,16 +116,34 @@ func NewParty(cfg PartyConfig) (*Party, error) {
 		rng: rand.New(rand.NewSource(cfg.Seed*7_368_787 + int64(cfg.Self))),
 	}
 	nd.cond = sync.NewCond(&nd.mu)
+	if cfg.Journal != nil {
+		nd.SetJournal(cfg.Journal)
+	}
 	p.node = nd
+	deliver := nd.enqueue
+	if cfg.Hold {
+		p.gate = make(chan struct{})
+		deliver = func(from int, seq uint64, inst string, body []byte) {
+			if from != cfg.Self {
+				// Block the transport goroutine until recovery releases the
+				// gate; TCP backpressure parks the peer's resend stream.
+				<-p.gate
+			}
+			nd.enqueue(from, seq, inst, body)
+		}
+	}
 	m, err := NewMesh(MeshConfig{
 		Self:         cfg.Self,
 		N:            cfg.N,
 		Listen:       cfg.Listen,
 		Key:          cfg.Key,
 		Board:        cfg.Board,
-		Deliver:      nd.enqueue,
+		Deliver:      deliver,
 		WAN:          cfg.WAN,
 		Seed:         cfg.Seed,
+		Resume:       cfg.Resume,
+		GateAcks:     cfg.GateAcks,
+		BeforeWrite:  cfg.BeforeWrite,
 		FlushEvery:   cfg.FlushEvery,
 		BackoffMin:   cfg.BackoffMin,
 		BackoffMax:   cfg.BackoffMax,
@@ -141,6 +196,99 @@ func (p *Party) Launch(i int, fn func()) {
 // Do schedules fn onto the dispatcher goroutine — the only legal way for
 // external code (the control RPC) to touch protocol state.
 func (p *Party) Do(fn func()) { p.node.Do(fn) }
+
+// Replay runs fn on the dispatcher goroutine and blocks until it returns —
+// the recovery critical section. Inside fn the caller re-processes journal
+// records via Node.Replay and ConsumeSelf; any self-send a replayed handler
+// generates is captured (matched against the journal) instead of looping
+// back, because the journal — not re-execution — is the authority on which
+// self-sends were processed before the crash. Call before Connect, with
+// the delivery gate still held.
+func (p *Party) Replay(fn func()) {
+	done := make(chan struct{})
+	p.node.Do(func() {
+		p.replaying = true
+		fn()
+		p.replaying = false
+		close(done)
+	})
+	<-done
+}
+
+// ConsumeSelf matches one journaled self-frame record against the oldest
+// captured replay self-send. A match consumes the capture and reports
+// true; a divergence (exhausted captures or differing content) counts a
+// mismatch and reports false — the journal record still replays, keeping
+// the durable order authoritative. Dispatcher context only (inside Replay).
+func (p *Party) ConsumeSelf(inst string, body []byte) bool {
+	if len(p.selfCaptured) == 0 {
+		p.selfMismatches.Add(1)
+		return false
+	}
+	c := p.selfCaptured[0]
+	p.selfCaptured = p.selfCaptured[1:]
+	if c.inst != inst || !bytes.Equal(c.body, body) {
+		p.selfMismatches.Add(1)
+		return false
+	}
+	return true
+}
+
+// FlushCapturedSelf enqueues the surplus captured self-sends — generated
+// by replayed handlers but never processed (hence never journaled) before
+// the crash — as fresh live tasks, preserving their generation order. They
+// will be journaled normally when dispatched. Dispatcher context only
+// (call at the end of the Replay fn).
+func (p *Party) FlushCapturedSelf() int {
+	n := len(p.selfCaptured)
+	for _, c := range p.selfCaptured {
+		p.node.enqueue(p.self, 0, c.inst, c.body)
+	}
+	p.selfCaptured = nil
+	return n
+}
+
+// SelfMismatches reports replay self-sends that diverged from the journal
+// (always zero for a faithful deterministic replay).
+func (p *Party) SelfMismatches() int64 { return p.selfMismatches.Load() }
+
+// Release opens the delivery gate held by PartyConfig.Hold: buffered and
+// future peer frames start flowing to the dispatcher. Idempotent; no-op
+// without Hold.
+func (p *Party) Release() {
+	p.releaseOnce.Do(func() {
+		if p.gate != nil {
+			close(p.gate)
+		}
+	})
+}
+
+// SetJournaled publishes the durable inbound cursor for peer `from` (ack
+// gating; see Mesh.SetJournaled).
+func (p *Party) SetJournaled(from int, seq uint64) { p.mesh.SetJournaled(from, seq) }
+
+// SendCursors snapshots per-peer next-send sequences (compaction base).
+func (p *Party) SendCursors() []uint64 { return p.mesh.SendCursors() }
+
+// TransportSettled reports whether the mesh holds no unacked or
+// out-of-order state a compaction snapshot would miss.
+func (p *Party) TransportSettled() bool { return p.mesh.Settled() }
+
+// SetRecoveryStats records the daemon's recovery counters for Stats RPCs.
+func (p *Party) SetRecoveryStats(rs RecoveryStats) {
+	p.rmu.Lock()
+	p.recovery = rs
+	p.rmu.Unlock()
+}
+
+// RecoveryStats reports the recovery counters published by the daemon.
+func (p *Party) RecoveryStats() RecoveryStats {
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
+	rs := p.recovery
+	rs.SelfMismatches = p.selfMismatches.Load()
+	return rs
+}
 
 // Sever force-closes the current outbound connection to peer `to`; the
 // mesh redials with backoff and resends unacked frames — the fault-
@@ -203,6 +351,9 @@ func (p *Party) Flush() { p.mesh.Flush() }
 // idempotent.
 func (p *Party) Close() {
 	p.closeOnce.Do(func() {
+		// Unblock transport goroutines parked on the delivery gate, or
+		// mesh.Close's goroutine sweep would wait on them forever.
+		p.Release()
 		p.mesh.Close()
 		nd := p.node
 		nd.mu.Lock()
@@ -235,6 +386,15 @@ func (p *Party) record(inst string, bodyLen int) {
 func (p *Party) transportSend(from, to int, inst string, body []byte) {
 	if from != p.self {
 		panic(fmt.Sprintf("livenet: party %d sending as %d", p.self, from))
+	}
+	if p.replaying && to == p.self {
+		// Replayed handlers regenerate their self-sends; looping them back
+		// through the queue would re-process (and re-journal) work the WAL
+		// already accounts for. Capture instead: ConsumeSelf matches them
+		// against the journal and FlushCapturedSelf re-enqueues only the
+		// unprocessed surplus. (Dispatcher goroutine: no lock needed.)
+		p.selfCaptured = append(p.selfCaptured, capturedSelf{inst: inst, body: append([]byte(nil), body...)})
+		return
 	}
 	p.mesh.Send(to, inst, body)
 }

@@ -131,11 +131,12 @@ type wanLink struct {
 	delays atomic.Int64 // frames held for a positive delay
 	losses atomic.Int64 // injected loss→retransmit events
 
-	deliver func(inst string, body []byte)
+	deliver func(seq uint64, inst string, body []byte)
 }
 
 type wanFrame struct {
 	at   time.Time
+	seq  uint64
 	inst string
 	body []byte
 }
@@ -163,7 +164,7 @@ func (l *wanLink) sample() time.Duration {
 }
 
 // push schedules one frame for delayed delivery.
-func (l *wanLink) push(inst string, body []byte) {
+func (l *wanLink) push(seq uint64, inst string, body []byte) {
 	d := l.sample()
 	if d > 0 {
 		l.delays.Add(1)
@@ -179,7 +180,7 @@ func (l *wanLink) push(inst string, body []byte) {
 		at = l.last // FIFO: never overtake the previous frame
 	}
 	l.last = at
-	l.queue = append(l.queue, wanFrame{at: at, inst: inst, body: body})
+	l.queue = append(l.queue, wanFrame{at: at, seq: seq, inst: inst, body: body})
 	if !l.running {
 		l.running = true
 		go l.run()
@@ -202,7 +203,7 @@ func (l *wanLink) run() {
 		if d := time.Until(f.at); d > 0 {
 			time.Sleep(d)
 		}
-		l.deliver(f.inst, f.body)
+		l.deliver(f.seq, f.inst, f.body)
 	}
 }
 

@@ -29,6 +29,14 @@ type Config struct {
 
 	Keys *pki.KeyringConfig `json:"keys"` // private scalars + public board; Self lives here
 
+	// WALDir enables durable crash recovery: the daemon journals its
+	// delivery-critical state (processed frames, launches, drains, link
+	// cursors) to a write-ahead log under this directory and, on restart
+	// from the same config, replays it to resume exactly-once where the
+	// dead process stopped. Empty = no journal (state dies with the
+	// process, as before).
+	WALDir string `json:"walDir,omitempty"`
+
 	WAN *livenet.WANProfile `json:"wan,omitempty"` // nil = no emulation
 
 	FlushEveryMS   int `json:"flushEveryMs,omitempty"`   // TCP coalescing bound (0 = default)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core/abc"
 	"repro/internal/livenet"
 	"repro/internal/pki"
+	"repro/internal/wal"
 )
 
 // Daemon is one running party process.
@@ -32,15 +33,26 @@ type Daemon struct {
 	ring  *pki.Keyring
 	party *livenet.Party
 	drv   *livenet.Driver
+	jn    *journal // nil without Config.WALDir
 
 	mu        sync.Mutex
 	insts     map[string]*instance
+	leftovers map[string][][]byte   // snapshot-restored mempool leftovers, tag → txs
 	conns     map[net.Conn]struct{} // accepted control conns, closed on shutdown
 	ctlClosed bool                  // set (under mu) once Shutdown has swept conns
+
+	// recovery is fixed at New (one process observes at most one restart)
+	// and merged with live WAL counters in stats().
+	recovery livenet.RecoveryStats
 
 	draining atomic.Bool
 	ctl      net.Listener
 	stopOnce sync.Once
+
+	syncStop       chan struct{} // closes the WAL sync ticker
+	syncDone       chan struct{}
+	compactPending atomic.Bool
+	walErrLogged   atomic.Bool
 
 	// ctlWriteErrs counts control-RPC response writes that failed — a
 	// launcher that never saw its answer. Surfaced via Stats so dropped
@@ -53,7 +65,9 @@ type Daemon struct {
 type instance struct {
 	kind, tag string
 	dec       *Decision
-	eng       *abc.Engine // ledger only: drain hook
+	eng       *abc.Engine  // ledger only: drain hook
+	pool      *abc.Mempool // ledger only: leftover harvest at compaction
+	retired   bool         // absorbed into a WAL snapshot and tombstoned
 }
 
 // New builds the daemon: decodes the keyring (validating it against the
@@ -70,7 +84,34 @@ func New(cfg *Config) (*Daemon, error) {
 	if len(ring.Board.Parties) != cfg.N {
 		return nil, fmt.Errorf("noded: board has %d parties, config says %d", len(ring.Board.Parties), cfg.N)
 	}
-	party, err := livenet.NewParty(livenet.PartyConfig{
+
+	// With a WAL dir, recover durable state before the mesh carries any
+	// traffic: fold the snapshot + record tail into cursor state and a
+	// replay list, resume the mesh from the journaled cursors, and hold
+	// inbound peer delivery until replay has rebuilt the dispatcher state.
+	var jn *journal
+	var snap *walSnapshot
+	var items []replayItem
+	var resume *livenet.Resume
+	if cfg.WALDir != "" {
+		wlog, err := wal.Open(cfg.WALDir)
+		if err != nil {
+			return nil, fmt.Errorf("noded: open wal: %w", err)
+		}
+		jn = newJournal(wlog, cfg.N, ring.Self)
+		if snap, items, err = jn.fold(); err != nil {
+			wlog.Close()
+			return nil, err
+		}
+		var sendBase []uint64
+		if snap != nil {
+			sendBase = snap.Send
+		}
+		resume = jn.resume(sendBase)
+	}
+	recovering := snap != nil || len(items) > 0
+
+	pcfg := livenet.PartyConfig{
 		Self:       ring.Self,
 		N:          cfg.N,
 		F:          cfg.F,
@@ -80,19 +121,49 @@ func New(cfg *Config) (*Daemon, error) {
 		Seed:       cfg.Seed,
 		WAN:        cfg.WAN,
 		FlushEvery: cfg.flushEvery(),
-	})
+	}
+	if jn != nil {
+		pcfg.Journal = jn.appendFrame
+		pcfg.GateAcks = true
+		pcfg.BeforeWrite = jn.syncAndPublish
+		pcfg.Resume = resume
+		pcfg.Hold = recovering
+	}
+	party, err := livenet.NewParty(pcfg)
 	if err != nil {
+		if jn != nil {
+			jn.log.Close()
+		}
 		return nil, err
 	}
-	return &Daemon{
-		cfg:   cfg,
-		self:  ring.Self,
-		ring:  ring,
-		party: party,
-		drv:   livenet.NewPartyDriver(party, cfg.awaitTimeout()),
-		insts: make(map[string]*instance),
-		conns: make(map[net.Conn]struct{}),
-	}, nil
+	d := &Daemon{
+		cfg:       cfg,
+		self:      ring.Self,
+		ring:      ring,
+		party:     party,
+		drv:       livenet.NewPartyDriver(party, cfg.awaitTimeout()),
+		jn:        jn,
+		insts:     make(map[string]*instance),
+		leftovers: make(map[string][][]byte),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	if jn != nil {
+		jn.publish = party.SetJournaled
+		if recovering {
+			if err := d.recoverFromJournal(snap, items); err != nil {
+				d.drv.Close()
+				party.Close()
+				jn.log.Close()
+				return nil, err
+			}
+		}
+		jn.log.ReleaseRecovered()
+		party.Release()
+		d.syncStop = make(chan struct{})
+		d.syncDone = make(chan struct{})
+		go d.syncLoop()
+	}
+	return d, nil
 }
 
 // Self returns this daemon's party index.
@@ -141,6 +212,12 @@ func (d *Daemon) Serve() error {
 
 // maxControlLine bounds one control request (proposals ride inside).
 const maxControlLine = 1 << 20
+
+// opSyncTimeout bounds a control op's wait for its journal record to reach
+// the dispatcher and fsync. party.Do drops tasks once the party is closed,
+// so an unbounded wait could park a control goroutine forever on a daemon
+// that is tearing down; the timeout converts that into an RPC error.
+const opSyncTimeout = 30 * time.Second
 
 func (d *Daemon) serveConn(conn net.Conn) {
 	defer conn.Close()
@@ -235,7 +312,7 @@ func (d *Daemon) register(kind, tag string) (*instance, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, dup := d.insts[tag]; dup {
-		return nil, fmt.Errorf("noded: duplicate instance tag %q", tag)
+		return nil, fmt.Errorf("noded: %w %q", errDuplicateTag, tag)
 	}
 	inst := &instance{kind: kind, tag: tag}
 	d.insts[tag] = inst
@@ -284,7 +361,7 @@ func (d *Daemon) drain(tag string) error {
 	d.mu.Lock()
 	var targets []*instance
 	for _, inst := range d.insts {
-		if inst.eng != nil && (tag == "" || inst.tag == tag) {
+		if inst.kind == "ledger" && !inst.retired && (tag == "" || inst.tag == tag) {
 			targets = append(targets, inst)
 		}
 	}
@@ -292,9 +369,45 @@ func (d *Daemon) drain(tag string) error {
 	if tag != "" && len(targets) == 0 {
 		return fmt.Errorf("noded: drain on unknown ledger %q", tag)
 	}
-	for _, inst := range targets {
-		eng := inst.eng
-		d.party.Do(func() { eng.RequestStop() })
+	durables := make([]chan error, len(targets))
+	for k, inst := range targets {
+		inst := inst
+		done := make(chan error, 1)
+		durables[k] = done
+		// The engine is assigned by the launch's own dispatcher task, so
+		// read it inside ours: party.Do is FIFO, and a drain can only be
+		// requested after the launch RPC returned — its build task is
+		// already queued ahead of this one. Journaling here (not at the
+		// RPC edge) puts the record at the drain's processed position; the
+		// ack below still waits for the record to be fsynced, so a crash
+		// after a drain ack can never forget the drain (same ack-gating
+		// contract as launch).
+		d.party.Do(func() {
+			d.mu.Lock()
+			eng := inst.eng
+			d.mu.Unlock()
+			if eng == nil {
+				done <- nil
+				return
+			}
+			var err error
+			if d.jn != nil {
+				d.jn.appendOp(recDrain, []byte(inst.tag))
+				err = d.jn.syncAndPublish()
+			}
+			eng.RequestStop()
+			done <- err
+		})
+	}
+	for _, done := range durables {
+		select {
+		case err := <-done:
+			if err != nil {
+				return fmt.Errorf("noded: journal drain %q: %w", tag, err)
+			}
+		case <-time.After(opSyncTimeout):
+			return fmt.Errorf("noded: drain %q never reached the dispatcher (shutting down?)", tag)
+		}
 	}
 	return nil
 }
@@ -302,7 +415,7 @@ func (d *Daemon) drain(tag string) error {
 func (d *Daemon) stats() *Stats {
 	t := d.party.TotalTally()
 	tcp := d.party.TCPStats()
-	return &Stats{
+	st := &Stats{
 		Party:         d.self,
 		Msgs:          t.Msgs,
 		Bytes:         t.Bytes,
@@ -322,6 +435,21 @@ func (d *Daemon) stats() *Stats {
 
 		ControlWriteErrs: d.ctlWriteErrs.Load(),
 	}
+	if d.jn != nil {
+		rs := d.party.RecoveryStats()
+		wst := d.jn.log.Stats()
+		st.Restarts = rs.Restarts
+		st.ReplayedRecords = rs.ReplayedRecords
+		st.ReplayedFrames = rs.ReplayedFrames
+		st.ReplayedOps = rs.ReplayedOps
+		st.SelfMismatches = rs.SelfMismatches
+		st.WALTruncatedBytes = rs.TruncatedBytes
+		st.WALAppends = wst.Appends
+		st.WALSyncs = wst.Syncs
+		st.WALCompactions = wst.Compactions
+		st.WALSnapshotBytes = wst.SnapshotBytes
+	}
+	return st
 }
 
 // Shutdown runs the graceful exit path (SIGTERM and the stop op): refuse
@@ -366,6 +494,16 @@ func (d *Daemon) Shutdown() {
 			cancel()
 		}
 
+		if d.jn != nil {
+			// Stop the sync ticker before tearing anything down (it
+			// schedules dispatcher work), then take the graceful quiescent
+			// point: one compaction attempt so a clean restart resumes from
+			// a snapshot.
+			close(d.syncStop)
+			<-d.syncDone
+			d.finalCompact()
+		}
+
 		d.party.Flush()
 		if d.ctl != nil {
 			d.ctl.Close()
@@ -381,5 +519,15 @@ func (d *Daemon) Shutdown() {
 		d.mu.Unlock()
 		d.drv.Close()
 		d.party.Close()
+		if d.jn != nil {
+			// The dispatcher is stopped: no appender is left. Flush the tail
+			// and close the log so the last records are durable.
+			if err := d.jn.syncAndPublish(); err != nil && d.walErrLogged.CompareAndSwap(false, true) {
+				log.Printf("noded: party %d final wal sync failed: %v", d.self, err)
+			}
+			if err := d.jn.log.Close(); err != nil && d.walErrLogged.CompareAndSwap(false, true) {
+				log.Printf("noded: party %d wal close failed: %v", d.self, err)
+			}
+		}
 	})
 }

@@ -3,16 +3,25 @@ package noded
 // Per-kind instance launchers. These mirror internal/exp's cluster
 // launchers, but run on exactly one party: the other n-1 instances of the
 // same tag live in other processes, reached over the mesh. All protocol
-// construction happens on the dispatcher goroutine (party.Do), and every
-// decision funnels into Daemon.complete as a wire-comparable Decision.
+// construction happens on the dispatcher goroutine, and every decision
+// funnels into Daemon.complete as a wire-comparable Decision.
+//
+// Launch is split into prepare (validation, returns the construction
+// closure) and the dispatcher-side build so the same closure serves both
+// paths: a live launch schedules it via party.Do — journaling the request
+// at its exact dispatcher position, just before construction — while crash
+// recovery re-runs the journaled request synchronously inside Party.Replay.
 
 import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"hash"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/core/aba"
@@ -31,7 +40,14 @@ const (
 	defaultTxBytes = 128
 )
 
-func (d *Daemon) launch(req *Request) error {
+// errDuplicateTag marks a register collision; recovery treats it as "already
+// restored from the snapshot" and skips the replayed launch.
+var errDuplicateTag = errors.New("duplicate instance tag")
+
+// prepare validates a launch request and returns the construction closure to
+// run on the dispatcher goroutine. Nothing is registered yet — validation
+// errors surface before the tag is claimed.
+func (d *Daemon) prepare(req *Request) (func(inst *instance), error) {
 	genesis := req.Genesis
 	if len(genesis) == 0 {
 		genesis = []byte(req.Tag)
@@ -46,127 +62,176 @@ func (d *Daemon) launch(req *Request) error {
 		// detect (and survive) the lies over real TCP.
 		b, ok := adversary.Lookup(req.Byz)
 		if !ok {
-			return fmt.Errorf("noded: unknown adversary behavior %q", req.Byz)
+			return nil, fmt.Errorf("noded: unknown adversary behavior %q", req.Byz)
 		}
 		rt = adversary.Wrap(rt, b)
 	}
 
 	switch req.Kind {
 	case "coin":
-		inst, err := d.register(req.Kind, req.Tag)
-		if err != nil {
-			return err
-		}
-		d.party.Do(func() {
-			c := coin.New(rt, req.Tag, keys, cfg, func(r coin.Result) {
-				d.complete(inst, &Decision{Kind: "coin", Tag: req.Tag, Bit: int(r.Bit)})
+		tag := req.Tag
+		return func(inst *instance) {
+			c := coin.New(rt, tag, keys, cfg, func(r coin.Result) {
+				d.complete(inst, &Decision{Kind: "coin", Tag: tag, Bit: int(r.Bit)})
 			})
 			c.Start()
-		})
+		}, nil
 
 	case "aba":
-		inst, err := d.register(req.Kind, req.Tag)
-		if err != nil {
-			return err
-		}
+		tag := req.Tag
 		var bit byte
 		if len(req.Input) > 0 {
 			bit = req.Input[0] & 1
 		}
-		d.party.Do(func() {
+		return func(inst *instance) {
 			var a *aba.ABA
-			a = aba.New(rt, req.Tag, aba.PaperCoins(rt, req.Tag+"/c", keys, cfg), func(b byte) {
-				d.complete(inst, &Decision{Kind: "aba", Tag: req.Tag, Bit: int(b), Round: a.DecidedRound})
+			a = aba.New(rt, tag, aba.PaperCoins(rt, tag+"/c", keys, cfg), func(b byte) {
+				d.complete(inst, &Decision{Kind: "aba", Tag: tag, Bit: int(b), Round: a.DecidedRound})
 			})
 			a.Start(bit)
-		})
+		}, nil
 
 	case "election":
-		inst, err := d.register(req.Kind, req.Tag)
-		if err != nil {
-			return err
-		}
-		d.party.Do(func() {
-			e := election.New(rt, req.Tag, keys, election.Config{Coin: cfg}, func(r election.Result) {
-				d.complete(inst, &Decision{Kind: "election", Tag: req.Tag, Leader: r.Leader, ByDefault: r.ByDefault})
+		tag := req.Tag
+		return func(inst *instance) {
+			e := election.New(rt, tag, keys, election.Config{Coin: cfg}, func(r election.Result) {
+				d.complete(inst, &Decision{Kind: "election", Tag: tag, Leader: r.Leader, ByDefault: r.ByDefault})
 			})
 			e.Start()
-		})
+		}, nil
 
 	case "vba":
 		pred, err := PredicateByName(req.Predicate)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		inst, err := d.register(req.Kind, req.Tag)
-		if err != nil {
-			return err
-		}
+		tag := req.Tag
 		proposal := append([]byte(nil), req.Input...)
-		d.party.Do(func() {
+		return func(inst *instance) {
 			var v *vba.VBA
-			v = vba.New(rt, req.Tag, keys, pred, vba.Config{Coin: cfg}, func(val []byte) {
-				d.complete(inst, &Decision{Kind: "vba", Tag: req.Tag, Value: string(val), View: v.DecidedView})
+			v = vba.New(rt, tag, keys, pred, vba.Config{Coin: cfg}, func(val []byte) {
+				d.complete(inst, &Decision{Kind: "vba", Tag: tag, Value: string(val), View: v.DecidedView})
 			})
 			v.Start(proposal)
-		})
+		}, nil
 
 	case "adkg":
-		inst, err := d.register(req.Kind, req.Tag)
-		if err != nil {
-			return err
-		}
-		d.party.Do(func() {
-			a := adkg.New(rt, req.Tag, keys, adkg.Config{VBA: vba.Config{Coin: cfg}}, func(k adkg.ThresholdKey) {
+		tag := req.Tag
+		return func(inst *instance) {
+			a := adkg.New(rt, tag, keys, adkg.Config{VBA: vba.Config{Coin: cfg}}, func(k adkg.ThresholdKey) {
 				d.complete(inst, &Decision{
 					Kind:    "adkg",
-					Tag:     req.Tag,
+					Tag:     tag,
 					GroupPK: hex.EncodeToString(k.GroupPK.Bytes()),
 					Weight:  k.Script.WeightCount(),
 				})
 			})
 			a.Start()
-		})
+		}, nil
 
 	case "beacon":
+		tag := req.Tag
 		epochs := req.Epochs
 		if epochs <= 0 {
 			epochs = 1
 		}
-		inst, err := d.register(req.Kind, req.Tag)
-		if err != nil {
-			return err
-		}
-		d.party.Do(func() {
+		return func(inst *instance) {
 			var values []string
 			var attempts []int
-			b := beacon.New(rt, req.Tag, keys, beacon.Config{Coin: cfg, Epochs: epochs}, func(e beacon.Epoch) {
+			b := beacon.New(rt, tag, keys, beacon.Config{Coin: cfg, Epochs: epochs}, func(e beacon.Epoch) {
 				values = append(values, hex.EncodeToString(e.Value[:]))
 				attempts = append(attempts, e.Attempts)
 				if len(values) == epochs {
 					d.complete(inst, &Decision{
-						Kind: "beacon", Tag: req.Tag,
+						Kind: "beacon", Tag: tag,
 						EpochValues: values, Attempts: attempts,
 					})
 				}
 			})
 			b.Start()
-		})
+		}, nil
 
 	case "ledger":
-		return d.launchLedger(req, cfg, rt)
+		return d.prepareLedger(req, cfg, rt), nil
 
 	default:
-		return fmt.Errorf("noded: unknown instance kind %q", req.Kind)
+		return nil, fmt.Errorf("noded: unknown instance kind %q", req.Kind)
+	}
+}
+
+// launch validates, registers and schedules construction. With a journal,
+// the request is recorded on the dispatcher immediately before the build
+// runs, so replay re-creates the instance at the same position in the
+// processed-message order — and the RPC ack is withheld until that record
+// is fsynced. Acking first would let the launcher observe a launch the WAL
+// can still lose: a SIGKILL between the ack and the dispatcher reaching the
+// append leaves a restarted daemon that never heard of the instance, while
+// the launcher proceeds to drain/await it.
+func (d *Daemon) launch(req *Request) error {
+	build, err := d.prepare(req)
+	if err != nil {
+		return err
+	}
+	inst, err := d.register(req.Kind, req.Tag)
+	if err != nil {
+		return err
+	}
+	var op []byte
+	if d.jn != nil {
+		if op, err = json.Marshal(req); err != nil {
+			return fmt.Errorf("noded: encode launch record: %w", err)
+		}
+	}
+	durable := make(chan error, 1)
+	d.party.Do(func() {
+		if op != nil {
+			d.jn.appendOp(recLaunch, op)
+			durable <- d.jn.syncAndPublish()
+		} else {
+			durable <- nil
+		}
+		build(inst)
+	})
+	// A closed party drops Do tasks silently, so bound the wait — the only
+	// way it expires is a daemon already tearing down.
+	select {
+	case err := <-durable:
+		if err != nil {
+			return fmt.Errorf("noded: journal launch %q: %w", req.Tag, err)
+		}
+	case <-time.After(opSyncTimeout):
+		return fmt.Errorf("noded: launch %q never reached the dispatcher (shutting down?)", req.Tag)
 	}
 	return nil
 }
 
-// ledgerLog folds the committed slot stream into a chained digest: equal
-// digests across processes certify an identical total order, not just an
-// identical tx set. Touched only from the dispatcher goroutine.
+// replayLaunch re-runs a journaled launch. Dispatcher context only (inside
+// Party.Replay): the build executes synchronously at the record's position.
+func (d *Daemon) replayLaunch(req *Request) error {
+	build, err := d.prepare(req)
+	if err != nil {
+		return err
+	}
+	inst, err := d.register(req.Kind, req.Tag)
+	if err != nil {
+		return err
+	}
+	build(inst)
+	return nil
+}
+
+// ledgerLog folds the committed slot stream into two digests. The chained
+// digest covers slots, origins and order: equal values across processes
+// certify an identical total order, not just an identical tx set. The set
+// digest (a 256-bit additive hash over sha256(tx)) is order- and
+// slot-insensitive: it identifies the delivered transaction multiset alone,
+// so it is invariant under scheduling differences — the value a crash-
+// recovery run can compare against an uninterrupted reference run, where
+// slot layout may legally differ but the delivered set may not. Touched
+// only from the dispatcher goroutine.
 type ledgerLog struct {
 	h     hash.Hash
+	set   [sha256.Size]byte // 256-bit big-endian additive accumulator
 	txs   int
 	bytes int64
 }
@@ -184,19 +249,56 @@ func (l *ledgerLog) absorb(slot int, entries []abc.Entry) {
 			binary.BigEndian.PutUint64(num[:], uint64(len(tx)))
 			l.h.Write(num[:])
 			l.h.Write(tx)
+			sum := sha256.Sum256(tx)
+			carry := 0
+			for i := sha256.Size - 1; i >= 0; i-- {
+				v := int(l.set[i]) + int(sum[i]) + carry
+				l.set[i] = byte(v)
+				carry = v >> 8
+			}
 			l.txs++
 			l.bytes += int64(len(tx))
 		}
 	}
 }
 
-func (l *ledgerLog) digest() string { return hex.EncodeToString(l.h.Sum(nil)) }
+func (l *ledgerLog) digest() string    { return hex.EncodeToString(l.h.Sum(nil)) }
+func (l *ledgerLog) setDigest() string { return hex.EncodeToString(l.set[:]) }
 
-// launchLedger starts a streaming abc engine preloaded with this party's
-// transactions. The log stays open until a drain request (or shutdown)
-// calls RequestStop on every party; the decision carries the final slot
-// and the ordered-log digest.
-func (d *Daemon) launchLedger(req *Request, cfg coin.Config, rt proto.Runtime) error {
+// LedgerTx is the deterministic transaction party self submits at preload
+// index k — the single definition the daemon loads from and harnesses
+// predict with.
+func LedgerTx(self, k, txBytes int) []byte {
+	tx := make([]byte, txBytes)
+	copy(tx, fmt.Sprintf("tx/%d/%d/", self, k))
+	return tx
+}
+
+// ExpectedTxSet computes the set digest an exactly-once full delivery of
+// every party's preload must produce: since the multiset is fixed by
+// (n, txCount, txBytes) alone, any run — interrupted or not — that delivers
+// each transaction exactly once reports this value.
+func ExpectedTxSet(n, txCount, txBytes int) string {
+	var set [sha256.Size]byte
+	for self := 0; self < n; self++ {
+		for k := 0; k < txCount; k++ {
+			sum := sha256.Sum256(LedgerTx(self, k, txBytes))
+			carry := 0
+			for i := sha256.Size - 1; i >= 0; i-- {
+				v := int(set[i]) + int(sum[i]) + carry
+				set[i] = byte(v)
+				carry = v >> 8
+			}
+		}
+	}
+	return hex.EncodeToString(set[:])
+}
+
+// prepareLedger returns the construction closure of a streaming abc engine
+// preloaded with this party's transactions. The log stays open until a drain
+// request (or shutdown) calls RequestStop on every party; the decision
+// carries the final slot and the ordered-log digest.
+func (d *Daemon) prepareLedger(req *Request, cfg coin.Config, rt proto.Runtime) func(inst *instance) {
 	txCount, txBytes := req.TxCount, req.TxBytes
 	if txCount <= 0 {
 		txCount = defaultTxCount
@@ -204,12 +306,6 @@ func (d *Daemon) launchLedger(req *Request, cfg coin.Config, rt proto.Runtime) e
 	if txBytes < 16 {
 		txBytes = defaultTxBytes
 	}
-	inst, err := d.register(req.Kind, req.Tag)
-	if err != nil {
-		return err
-	}
-	pool := abc.NewMempool(2*txCount*txBytes + 1024)
-	log := newLedgerLog()
 	keys, tag := d.ring, req.Tag
 	ecfg := abc.EngineConfig{
 		Coin:        cfg,
@@ -218,7 +314,9 @@ func (d *Daemon) launchLedger(req *Request, cfg coin.Config, rt proto.Runtime) e
 	}
 	autoStop := req.AutoStop
 	self := d.self
-	d.party.Do(func() {
+	return func(inst *instance) {
+		pool := abc.NewMempool(2*txCount*txBytes + 1024)
+		log := newLedgerLog()
 		var eng *abc.Engine
 		eng = abc.NewEngine(rt, tag, keys, ecfg, pool,
 			func(slot int, entries []abc.Entry) { log.absorb(slot, entries) },
@@ -227,6 +325,7 @@ func (d *Daemon) launchLedger(req *Request, cfg coin.Config, rt proto.Runtime) e
 					Kind: "ledger", Tag: tag,
 					FinalSlot: finalSlot,
 					Value:     log.digest(),
+					TxSet:     log.setDigest(),
 					Txs:       log.txs,
 					Bytes:     log.bytes,
 				})
@@ -236,10 +335,10 @@ func (d *Daemon) launchLedger(req *Request, cfg coin.Config, rt proto.Runtime) e
 		// behind this task.
 		d.mu.Lock()
 		inst.eng = eng
+		inst.pool = pool
 		d.mu.Unlock()
 		for k := 0; k < txCount; k++ {
-			tx := make([]byte, txBytes)
-			copy(tx, fmt.Sprintf("tx/%d/%d/", self, k))
+			tx := LedgerTx(self, k, txBytes)
 			if err := pool.Submit(context.Background(), tx); err != nil {
 				break // pool sized for the preload; only closure lands here
 			}
@@ -248,6 +347,5 @@ func (d *Daemon) launchLedger(req *Request, cfg coin.Config, rt proto.Runtime) e
 		if autoStop {
 			eng.RequestStop()
 		}
-	})
-	return nil
+	}
 }

@@ -90,6 +90,10 @@ type Decision struct {
 	FinalSlot int   `json:"finalSlot,omitempty"` // ledger final committed slot
 	Txs       int   `json:"txs,omitempty"`       // ledger delivered tx count
 	Bytes     int64 `json:"bytes,omitempty"`     // ledger delivered tx bytes
+	// TxSet is the order-insensitive digest of the delivered tx multiset —
+	// invariant across scheduling differences (including crash/recovery),
+	// unlike Value's order-chained digest.
+	TxSet string `json:"txSet,omitempty"`
 }
 
 // Stats is one party's runtime counters.
@@ -116,6 +120,23 @@ type Stats struct {
 	// ControlWriteErrs counts control-RPC responses the daemon failed to
 	// write back to a launcher (the connection died mid-reply).
 	ControlWriteErrs int64 `json:"controlWriteErrs,omitempty"`
+
+	// Crash-recovery counters (zero without Config.WALDir). Restarts is 1
+	// when this process rebuilt itself from a journal; ReplayedFrames /
+	// ReplayedOps break down the re-executed records; SelfMismatches counts
+	// replay self-sends that diverged from the journal (always 0 for a
+	// faithful deterministic replay). The WAL* fields are live journal
+	// counters.
+	Restarts          int64 `json:"restarts,omitempty"`
+	ReplayedRecords   int64 `json:"replayedRecords,omitempty"`
+	ReplayedFrames    int64 `json:"replayedFrames,omitempty"`
+	ReplayedOps       int64 `json:"replayedOps,omitempty"`
+	SelfMismatches    int64 `json:"selfMismatches,omitempty"`
+	WALAppends        int64 `json:"walAppends,omitempty"`
+	WALSyncs          int64 `json:"walSyncs,omitempty"`
+	WALCompactions    int64 `json:"walCompactions,omitempty"`
+	WALTruncatedBytes int64 `json:"walTruncatedBytes,omitempty"`
+	WALSnapshotBytes  int64 `json:"walSnapshotBytes,omitempty"`
 }
 
 // PredicateByName resolves a named VBA validity predicate ("any",

@@ -45,6 +45,12 @@ type Options struct {
 
 	WAN *livenet.WANProfile
 
+	// WAL gives every party a write-ahead-log directory under Dir, enabling
+	// durable crash recovery: a SIGKILLed process restarted from the same
+	// config (Cluster.Kill / Cluster.Restart) replays its journal and
+	// rejoins exactly-once.
+	WAL bool
+
 	// ReadyTimeout bounds process startup (0 = 30s); AwaitTimeoutMS /
 	// DrainTimeoutMS pass through to each daemon config.
 	ReadyTimeout   time.Duration
@@ -63,12 +69,14 @@ type Cluster struct {
 	N, F int
 	Seed int64
 
-	dir    string
-	ownDir bool
-	cfgs   []*noded.Config
-	procs  []*procHandle
-	outs   []*processLog
-	cls    []*noded.Client
+	dir          string
+	ownDir       bool
+	bin          string
+	readyTimeout time.Duration
+	cfgs         []*noded.Config
+	procs        []*procHandle
+	outs         []*processLog
+	cls          []*noded.Client
 
 	closeOnce sync.Once
 }
@@ -159,6 +167,9 @@ func WriteConfigs(dir string, opts Options) ([]*noded.Config, error) {
 			AwaitTimeoutMS: opts.AwaitTimeoutMS,
 			DrainTimeoutMS: opts.DrainTimeoutMS,
 		}
+		if opts.WAL {
+			cfgs[i].WALDir = filepath.Join(dir, "wal", fmt.Sprintf("party%d", i))
+		}
 		if err := noded.WriteConfig(filepath.Join(dir, fmt.Sprintf("party%d.json", i)), cfgs[i]); err != nil {
 			return nil, err
 		}
@@ -211,49 +222,34 @@ func Launch(opts Options) (*Cluster, error) {
 	}
 	cl.cfgs = cfgs
 
-	readyTimeout := opts.ReadyTimeout
-	if readyTimeout <= 0 {
-		readyTimeout = defaultReadyTimeout
+	cl.bin = bin
+	cl.readyTimeout = opts.ReadyTimeout
+	if cl.readyTimeout <= 0 {
+		cl.readyTimeout = defaultReadyTimeout
 	}
-	readyc := make(chan error, opts.N)
+	cl.procs = make([]*procHandle, opts.N)
+	cl.outs = make([]*processLog, opts.N)
+	cl.cls = make([]*noded.Client, opts.N)
+	readycs := make([]<-chan error, opts.N)
 	for i := 0; i < opts.N; i++ {
-		cmd := exec.Command(bin, "-config", filepath.Join(dir, fmt.Sprintf("party%d.json", i)))
-		logbuf := &processLog{}
-		cmd.Stderr = logbuf
-		stdout, err := cmd.StdoutPipe()
+		rc, err := cl.spawn(i)
 		if err != nil {
 			cl.Close()
 			return nil, err
 		}
-		if err := cmd.Start(); err != nil {
-			cl.Close()
-			return nil, fmt.Errorf("nodenet: spawn party %d: %w", i, err)
-		}
-		h := &procHandle{cmd: cmd, done: make(chan struct{})}
-		cl.procs = append(cl.procs, h)
-		cl.outs = append(cl.outs, logbuf)
-		scanned := make(chan struct{})
-		go func(i int) {
-			watchReady(i, stdout, logbuf, readyc)
-			close(scanned)
-		}(i)
-		go func(h *procHandle) {
-			<-scanned // don't let Wait close the pipe under the scanner
-			h.err = cmd.Wait()
-			close(h.done)
-		}(h)
+		readycs[i] = rc
 	}
-	deadline := time.After(readyTimeout)
-	for range cl.procs {
+	deadline := time.After(cl.readyTimeout)
+	for _, rc := range readycs {
 		select {
-		case err := <-readyc:
+		case err := <-rc:
 			if err != nil {
 				err = fmt.Errorf("%w\n%s", err, cl.Logs())
 				cl.Close()
 				return nil, err
 			}
 		case <-deadline:
-			err := fmt.Errorf("nodenet: cluster not ready after %v\n%s", readyTimeout, cl.Logs())
+			err := fmt.Errorf("nodenet: cluster not ready after %v\n%s", cl.readyTimeout, cl.Logs())
 			cl.Close()
 			return nil, err
 		}
@@ -264,13 +260,89 @@ func Launch(opts Options) (*Cluster, error) {
 			cl.Close()
 			return nil, fmt.Errorf("nodenet: dial party %d control: %w", i, err)
 		}
-		cl.cls = append(cl.cls, c)
+		cl.cls[i] = c
 		if _, err := c.Call(&noded.Request{Op: noded.OpPing}, 5*time.Second); err != nil {
 			cl.Close()
 			return nil, fmt.Errorf("nodenet: ping party %d: %w", i, err)
 		}
 	}
 	return cl, nil
+}
+
+// spawn starts (or re-starts) party i's process from its on-disk config and
+// returns the channel its READY verdict arrives on. Restarts append to the
+// party's existing log capture.
+func (cl *Cluster) spawn(i int) (<-chan error, error) {
+	cmd := exec.Command(cl.bin, "-config", filepath.Join(cl.dir, fmt.Sprintf("party%d.json", i)))
+	if cl.outs[i] == nil {
+		cl.outs[i] = &processLog{}
+	}
+	logbuf := cl.outs[i]
+	cmd.Stderr = logbuf
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("nodenet: spawn party %d: %w", i, err)
+	}
+	h := &procHandle{cmd: cmd, done: make(chan struct{})}
+	cl.procs[i] = h
+	readyc := make(chan error, 1)
+	scanned := make(chan struct{})
+	go func() {
+		watchReady(i, stdout, logbuf, readyc)
+		close(scanned)
+	}()
+	go func() {
+		<-scanned // don't let Wait close the pipe under the scanner
+		h.err = cmd.Wait()
+		close(h.done)
+	}()
+	return readyc, nil
+}
+
+// Kill SIGKILLs party i's process — no drain, no flush, no WAL close — and
+// waits for the corpse to be reaped. The control client is closed; Restart
+// brings the party back from its config (and WAL, when enabled).
+func (cl *Cluster) Kill(i int) error {
+	h := cl.procs[i]
+	if err := h.cmd.Process.Kill(); err != nil && !errors.Is(err, os.ErrProcessDone) {
+		return fmt.Errorf("nodenet: kill party %d: %w", i, err)
+	}
+	<-h.done
+	if cl.cls[i] != nil {
+		cl.cls[i].Close()
+	}
+	return nil
+}
+
+// Restart respawns party i from the same on-disk config, waits for its
+// READY line, and reconnects the control client. With Options.WAL the
+// process replays its journal and rejoins the cluster exactly-once.
+func (cl *Cluster) Restart(i int) error {
+	readyc, err := cl.spawn(i)
+	if err != nil {
+		return err
+	}
+	select {
+	case err := <-readyc:
+		if err != nil {
+			return fmt.Errorf("%w\n%s", err, cl.Logs())
+		}
+	case <-time.After(cl.readyTimeout):
+		return fmt.Errorf("nodenet: party %d not ready after %v\n%s", i, cl.readyTimeout, cl.Logs())
+	}
+	c, err := noded.Dial(cl.cfgs[i].Control, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("nodenet: redial party %d control: %w", i, err)
+	}
+	if _, err := c.Call(&noded.Request{Op: noded.OpPing}, 5*time.Second); err != nil {
+		c.Close()
+		return fmt.Errorf("nodenet: ping restarted party %d: %w", i, err)
+	}
+	cl.cls[i] = c
+	return nil
 }
 
 // watchReady scans one process's stdout for its READY line, then keeps
@@ -298,7 +370,9 @@ func (cl *Cluster) Dir() string { return cl.dir }
 func (cl *Cluster) Logs() string {
 	var b strings.Builder
 	for _, l := range cl.outs {
-		b.WriteString(l.String())
+		if l != nil {
+			b.WriteString(l.String())
+		}
 	}
 	return b.String()
 }
@@ -427,9 +501,14 @@ func (cl *Cluster) Stop(timeout time.Duration) error {
 func (cl *Cluster) Close() {
 	cl.closeOnce.Do(func() {
 		for _, c := range cl.cls {
-			c.Close()
+			if c != nil {
+				c.Close()
+			}
 		}
 		for _, h := range cl.procs {
+			if h == nil {
+				continue
+			}
 			select {
 			case <-h.done:
 			default:
@@ -437,7 +516,9 @@ func (cl *Cluster) Close() {
 			}
 		}
 		for _, h := range cl.procs {
-			<-h.done
+			if h != nil {
+				<-h.done
+			}
 		}
 		if cl.ownDir {
 			os.RemoveAll(cl.dir)

@@ -217,3 +217,107 @@ func TestProcessClusterConfigsOnDisk(t *testing.T) {
 		}
 	}
 }
+
+// TestProcessClusterSurvivesKillRestart SIGKILLs one process while a
+// multi-slot ledger is committing — no drain, no flush, the WAL is all
+// that survives — then restarts it from the same on-disk config. The
+// restarted process must replay its journal, rejoin over TCP, and land on
+// the same ordered log as everyone else, with every transaction delivered
+// exactly once (the headline crash-recovery acceptance check).
+func TestProcessClusterSurvivesKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test; skipped under -short")
+	}
+	const n, txCount, txBytes = 4, 24, 64
+	cl, err := Launch(Options{N: n, F: -1, Seed: 25, BinPath: sharedBinary(t), WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	const tag = "wl/krtest"
+	if _, err := cl.CallAll(func(int) *noded.Request {
+		return &noded.Request{
+			Op: noded.OpLaunch, Kind: "ledger", Tag: tag, Genesis: []byte("kr"),
+			TxCount: txCount, TxBytes: txBytes,
+		}
+	}, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	const victim = 2
+	if err := cl.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Restart(victim); err != nil {
+		t.Fatalf("restart after SIGKILL: %v\n%s", err, cl.Logs())
+	}
+	if _, err := cl.CallAll(func(int) *noded.Request {
+		return &noded.Request{Op: noded.OpDrain, Tag: tag}
+	}, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	decs, err := cl.AwaitAll(tag)
+	if err != nil {
+		t.Fatalf("await after kill/restart: %v\n%s", err, cl.Logs())
+	}
+	wantSet := noded.ExpectedTxSet(n, txCount, txBytes)
+	for i, d := range decs {
+		if d.Txs != n*txCount {
+			t.Fatalf("party %d delivered %d txs, want exactly-once %d", i, d.Txs, n*txCount)
+		}
+		if d.TxSet != wantSet {
+			t.Fatalf("party %d tx set %s, want %s", i, d.TxSet, wantSet)
+		}
+		if d.Value != decs[0].Value || d.FinalSlot != decs[0].FinalSlot {
+			t.Fatalf("party %d log diverged after restart: (%d, %s) vs (%d, %s)",
+				i, d.FinalSlot, d.Value, decs[0].FinalSlot, decs[0].Value)
+		}
+	}
+	stats, err := cl.StatsAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range stats {
+		wantRestarts := int64(0)
+		if i == victim {
+			wantRestarts = 1
+		}
+		if s.Restarts != wantRestarts {
+			t.Fatalf("party %d reports %d restarts, want %d", i, s.Restarts, wantRestarts)
+		}
+		if s.SelfMismatches != 0 {
+			t.Fatalf("party %d replay diverged: %d self-send mismatches", i, s.SelfMismatches)
+		}
+	}
+	if stats[victim].ReplayedRecords == 0 {
+		t.Fatalf("restarted party replayed no WAL records: %+v", stats[victim])
+	}
+	if err := cl.Stop(60 * time.Second); err != nil {
+		t.Fatalf("graceful stop: %v\n%s", err, cl.Logs())
+	}
+}
+
+// TestChaosRunSmoke runs the full seeded chaos harness at n=4 — reference
+// run, then f kill/restart cycles against WAL-backed processes — and
+// checks the gated artifact surface it would commit.
+func TestChaosRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos test; skipped under -short")
+	}
+	doc, err := RunChaos(ChaosOptions{N: 4, Seed: 7, BinPath: sharedBinary(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rounds) != 2 || doc.Kills != 1 {
+		t.Fatalf("unexpected chaos shape: %+v", doc)
+	}
+	want := noded.ExpectedTxSet(4, doc.TxCount, doc.TxBytes)
+	for _, r := range doc.Rounds {
+		if r.Txs != 4*doc.TxCount || r.TxSet != want {
+			t.Fatalf("round %s: txs=%d set=%s, want txs=%d set=%s", r.Tag, r.Txs, r.TxSet, 4*doc.TxCount, want)
+		}
+	}
+	if doc.Restarts == 0 {
+		t.Fatal("chaos run recorded no WAL recoveries")
+	}
+}

@@ -38,6 +38,12 @@ type Workload struct {
 	Agreement bool // decisions must be identical across processes
 	Sim       bool // decision must match the simulator for the same seed
 
+	// Mid, when set, runs after every party has accepted the launch and
+	// before drain/await — the window where fault injection (a SIGKILL +
+	// WAL restart, say) cannot race the control RPCs themselves. An error
+	// fails the workload.
+	Mid func() error
+
 	// Byz names an adversary behavior run by the top-indexed party: that
 	// process's protocol instance lies on the wire (internal/adversary via
 	// noded's launch path). The run then additionally asserts that the
@@ -114,6 +120,11 @@ func (w Workload) Run(cl *Cluster) (*WorkloadResult, error) {
 	if _, err := cl.CallAll(launch, 30*time.Second); err != nil {
 		return nil, fmt.Errorf("workload %s: launch: %w", w.Name, err)
 	}
+	if w.Mid != nil {
+		if err := w.Mid(); err != nil {
+			return nil, fmt.Errorf("workload %s: mid-run fault: %w", w.Name, err)
+		}
+	}
 	if w.Kind == "ledger" {
 		if _, err := cl.CallAll(func(int) *noded.Request {
 			return &noded.Request{Op: noded.OpDrain, Tag: tag}
@@ -183,7 +194,7 @@ func sameDecision(a, b *noded.Decision) bool {
 		a.ByDefault != b.ByDefault || a.Value != b.Value ||
 		a.GroupPK != b.GroupPK || a.Weight != b.Weight ||
 		a.FinalSlot != b.FinalSlot || a.Txs != b.Txs || a.Bytes != b.Bytes ||
-		len(a.EpochValues) != len(b.EpochValues) {
+		a.TxSet != b.TxSet || len(a.EpochValues) != len(b.EpochValues) {
 		return false
 	}
 	for i := range a.EpochValues {

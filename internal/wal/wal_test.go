@@ -1,0 +1,341 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func appendAll(t *testing.T, l *Log, recs []Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := l.Append(r.Type, r.Data); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+}
+
+func wantRecords(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("record %d = {%d %q}, want {%d %q}", i, got[i].Type, got[i].Data, want[i].Type, want[i].Data)
+		}
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	recs := []Record{
+		{Type: 1, Data: []byte("alpha")},
+		{Type: 2, Data: nil},
+		{Type: 7, Data: bytes.Repeat([]byte{0xAB}, 300)},
+	}
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, recs)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	wantRecords(t, l2.Records(), recs)
+	if l2.Snapshot() != nil {
+		t.Fatalf("unexpected snapshot: %q", l2.Snapshot())
+	}
+	if tb := l2.Stats().TruncatedBytes; tb != 0 {
+		t.Fatalf("clean log reported %d truncated bytes", tb)
+	}
+}
+
+// TestWALSyncBatches: Sync is a no-op when nothing was appended, so the
+// fsync-on-commit batching counter advances once per dirty flush, not once
+// per call.
+func TestWALSyncBatches(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := l.Stats().Syncs; s != 0 {
+		t.Fatalf("clean syncs fsynced %d times", s)
+	}
+	appendAll(t, l, []Record{{Type: 1, Data: []byte("a")}, {Type: 2, Data: []byte("b")}})
+	for i := 0; i < 3; i++ {
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := l.Stats().Syncs; s != 1 {
+		t.Fatalf("2 appends + 3 syncs fsynced %d times, want 1", s)
+	}
+}
+
+// TestWALTornTailTruncated: a partial record at the tail (crash mid-append)
+// is dropped on Open and the intact prefix survives; the file is physically
+// truncated so the next generation of appends starts clean.
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	recs := []Record{{Type: 1, Data: []byte("keep-me")}, {Type: 2, Data: []byte("me-too")}}
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, recs)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "wal.0.log")
+	full := encodeRecord(3, []byte("torn-off"))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(full[:len(full)-3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecords(t, l2.Records(), recs)
+	if tb := l2.Stats().TruncatedBytes; tb != int64(len(full)-3) {
+		t.Fatalf("truncated %d bytes, want %d", tb, len(full)-3)
+	}
+	// Appends after a truncation must land where the torn record was.
+	if err := l2.Append(4, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSize := int64(len(logMagic))
+	for _, r := range append(recs[:2:2], Record{Type: 4, Data: []byte("after")}) {
+		wantSize += int64(len(encodeRecord(r.Type, r.Data)))
+	}
+	if after.Size() != wantSize {
+		t.Fatalf("file is %d bytes after truncate+append, want %d (torn tail kept?)", after.Size(), wantSize)
+	}
+	l3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	wantRecords(t, l3.Records(), append(recs[:2:2], Record{Type: 4, Data: []byte("after")}))
+}
+
+// TestWALBitFlipDropsSuffix: a corrupt record mid-log cannot anchor the
+// boundaries of anything after it, so recovery keeps the intact prefix and
+// drops the rest — never replaying the corrupt record.
+func TestWALBitFlipDropsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	recs := []Record{
+		{Type: 1, Data: []byte("good-0")},
+		{Type: 1, Data: []byte("good-1")},
+		{Type: 1, Data: []byte("good-2")},
+	}
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, recs)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "wal.0.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside record 1's payload.
+	off := len(logMagic) + len(encodeRecord(1, []byte("good-0"))) + 6
+	raw[off] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	wantRecords(t, l2.Records(), recs[:1])
+}
+
+func TestWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, []Record{{Type: 1, Data: []byte("retired-0")}, {Type: 1, Data: []byte("retired-1")}})
+	if err := l.Compact([]byte("snapshot-state")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, []Record{{Type: 2, Data: []byte("fresh")}})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal.0.log")); !os.IsNotExist(err) {
+		t.Fatalf("generation-0 log not retired: %v", err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if string(l2.Snapshot()) != "snapshot-state" {
+		t.Fatalf("snapshot = %q", l2.Snapshot())
+	}
+	wantRecords(t, l2.Records(), []Record{{Type: 2, Data: []byte("fresh")}})
+	if g := l2.Stats().Generation; g != 1 {
+		t.Fatalf("generation = %d, want 1", g)
+	}
+}
+
+// TestWALCompactionCrashWindow: a crash between snapshot install and new-log
+// creation leaves snapshot g+1 beside the stale generation-g log. Open must
+// start generation g+1 empty and ignore (and clean up) the stale log, never
+// replaying retired records on top of the snapshot that absorbed them.
+func TestWALCompactionCrashWindow(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, []Record{{Type: 1, Data: []byte("retired")}})
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.writeSnapshot(1, []byte("snap-1")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: no generation-1 log was ever created.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if string(l2.Snapshot()) != "snap-1" {
+		t.Fatalf("snapshot = %q", l2.Snapshot())
+	}
+	if len(l2.Records()) != 0 {
+		t.Fatalf("stale generation-0 records replayed: %v", l2.Records())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal.0.log")); !os.IsNotExist(err) {
+		t.Fatalf("stale generation-0 log survived recovery: %v", err)
+	}
+}
+
+// TestWALCorruptSnapshotRejected: with the compaction base unreadable there
+// is nothing safe to replay on top of, so Open must fail loudly instead of
+// recovering partial state.
+func TestWALCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact([]byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "wal.snap")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a corrupt snapshot")
+	}
+}
+
+func TestWALJunkFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal.0.log"), []byte("this is not a wal log at all"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a junk log file")
+	}
+}
+
+func TestWALAppendAfterCloseFails(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, []byte("x")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestWALManyRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 2000; i++ {
+		r := Record{Type: byte(i % 7), Data: []byte(fmt.Sprintf("record-%04d", i))}
+		want = append(want, r)
+	}
+	appendAll(t, l, want)
+	if err := l.Close(); err != nil { // Close syncs
+		t.Fatal(err)
+	}
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	wantRecords(t, l2.Records(), want)
+}
